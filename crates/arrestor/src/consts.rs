@@ -1,0 +1,176 @@
+//! Fixed-point scaling, control-law and schedule constants of the target
+//! software.
+//!
+//! The target is a 16-bit machine: all signals are `u16` and all module
+//! arithmetic is integer (widened to `i64` internally). Units:
+//!
+//! * pressure — `pu` = 0.01 bar (20 000 pu = 200 bar);
+//! * distance — cm internally, tape pulses on the wire (1 pulse = 5 cm
+//!   of tape payout);
+//! * velocity — cm/s;
+//! * time — ms (`mscnt`).
+
+/// System operating modes held in the `sys_mode` variable.
+pub mod mode {
+    /// Waiting for an aircraft to engage the cable.
+    pub const ARMED: u16 = 0;
+    /// Arrestment in progress.
+    pub const ARRESTING: u16 = 1;
+    /// Aircraft stopped; pressure held.
+    pub const STOPPED: u16 = 2;
+}
+
+/// Slot assignments of the 7 × 1 ms cyclic executive. CLOCK and DIST_S
+/// run every slot; CALC runs in the background after the slot modules.
+pub mod slot {
+    /// PRES_S samples the pressure sensor.
+    pub const PRES_S: u16 = 1;
+    /// V_REG runs the PID regulator.
+    pub const V_REG: u16 = 3;
+    /// PRES_A commands the valve.
+    pub const PRES_A: u16 = 5;
+    /// The master transmits the set point to the slave.
+    pub const COMM: u16 = 6;
+    /// Number of slots in the schedule.
+    pub const COUNT: u16 = 7;
+}
+
+/// Pulses of cable payout that signal an engagement.
+pub const ENGAGE_PULSES: u16 = 10;
+
+/// Tape payout per rotation pulse, centimetres (mirrors
+/// `simenv::spec::METERS_PER_PULSE`).
+pub const CM_PER_PULSE: i64 = 5;
+
+/// Lateral drum offset, centimetres (mirrors
+/// `simenv::spec::DRUM_OFFSET_M`).
+pub const DRUM_OFFSET_CM: i64 = 3_000;
+
+/// Controller's target stopping distance, centimetres.
+pub const TARGET_STOP_CM: i64 = 28_000;
+
+/// Floor for the remaining-distance term, centimetres (avoids divide-by-
+/// small when the aircraft is already near the target point).
+pub const MIN_REMAINING_CM: i64 = 2_000;
+
+/// Pre-tension set point applied at engagement, pu (10 bar).
+pub const PRETENSION_PU: u16 = 1_000;
+
+/// Software ceiling for the set point, pu (150 bar).
+pub const SET_MAX_PU: u16 = 15_000;
+
+/// Hardware range of the valve command, pu (200 bar).
+pub const OUT_MAX_PU: u16 = 20_000;
+
+/// Set-point slew limit applied by CALC, pu per millisecond pass.
+pub const SLEW_PU_PER_MS: i64 = 150;
+
+/// Brake tension per pu of pressure: `T[N] = P[bar]·1000 = pu·10`.
+/// Used inverted by CALC: `pu = T/10`.
+pub const TENSION_N_PER_PU: i64 = 10;
+
+/// The six checkpoint positions along the runway, centimetres from the
+/// engagement point. CALC converts these to pulse-count thresholds at
+/// initialisation.
+pub const CHECKPOINT_X_CM: [i64; 6] = [3_000, 6_000, 10_000, 15_000, 20_000, 25_000];
+
+/// Velocity-estimation period, ms.
+pub const V_EST_PERIOD_MS: u16 = 100;
+
+/// Sanity ceiling on the velocity estimate, cm/s (90 m/s).
+pub const V_EST_MAX: i64 = 9_000;
+
+/// Milliseconds without new pulses after which CALC declares the
+/// aircraft stopped.
+pub const STALL_MS: u16 = 300;
+
+/// Floor on the fixed-point `cosθ · 1000` factor (guards the division
+/// right after engagement where the geometry factor vanishes).
+pub const COS_THETA_MIN_X1000: i64 = 100;
+
+/// PID proportional gain (numerator; the control law is
+/// `Out = Set + KP·err + I/INTEG_SHIFT`).
+pub const PID_KP: i64 = 2;
+
+/// Integral accumulation divisor: `I += err / ERR_DIV` per V_REG run.
+pub const PID_ERR_DIV: i64 = 4;
+
+/// Integral contribution divisor.
+pub const PID_INTEG_DIV: i64 = 16;
+
+/// Anti-windup clamp on the integral accumulator.
+pub const PID_INTEG_CLAMP: i64 = 20_000;
+
+/// Derivative-term divisor: `D = (err − err')/KD_DIV` per V_REG run.
+pub const PID_KD_DIV: i64 = 2;
+
+/// Executable-assertion parameters of the seven monitored signals
+/// (paper Table 4 classes; bounds derived from the physics in
+/// `simenv::spec` — see `instrument` for the derivations).
+pub mod ea {
+    /// EA1 `SetValue`: continuous random, range and per-7 ms rate bound.
+    pub const SET_VALUE_MAX: i64 = 15_000;
+    /// EA1 rate bound (the CALC slew of 150 pu/ms over a 7 ms test
+    /// period is 1 050; 1 200 adds margin).
+    pub const SET_VALUE_RATE: i64 = 1_200;
+    /// EA2 `IsValue` range maximum (200 bar).
+    pub const IS_VALUE_MAX: i64 = 20_000;
+    /// EA2 rate bound: the hydraulic lag limits |dP/dt| to
+    /// `Pmax/τ` = 1 333 bar/s → 933 pu per 7 ms.
+    pub const IS_VALUE_RATE: i64 = 1_000;
+    /// EA3 `i`: checkpoint counter upper bound.
+    pub const I_MAX: i64 = 6;
+    /// EA4 `pulscnt` range maximum (longest possible payout ≈ 6 126
+    /// pulses).
+    pub const PULSCNT_MAX: i64 = 6_500;
+    /// EA4 rate bound: payout speed tops out at 1.4 pulses/ms.
+    pub const PULSCNT_RATE: i64 = 2;
+    /// EA6 `mscnt`: circular period of the 16-bit millisecond counter
+    /// (Table 2's wrap tests identify `smin` with `smax`).
+    pub const MSCNT_PERIOD: i64 = 0x1_0000;
+    /// EA7 `OutValue` range maximum.
+    pub const OUT_VALUE_MAX: i64 = 20_000;
+    /// EA7 rate bound: `Out = 3·Set − 2·Is + I/16 + D` changes by at
+    /// most ≈ 6 100 pu per 7 ms under legal inputs (the derivative term
+    /// adds up to `Δerr/2 ≈ 1 000`).
+    pub const OUT_VALUE_RATE: i64 = 6_500;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_are_increasing_and_inside_target() {
+        for w in CHECKPOINT_X_CM.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*CHECKPOINT_X_CM.last().unwrap() < TARGET_STOP_CM);
+    }
+
+    #[test]
+    fn pressure_ceilings_ordered() {
+        assert!(PRETENSION_PU < SET_MAX_PU);
+        assert!(i64::from(SET_MAX_PU) <= ea::SET_VALUE_MAX);
+        assert!(SET_MAX_PU < OUT_MAX_PU);
+    }
+
+    #[test]
+    fn slew_within_ea1_rate() {
+        assert!(SLEW_PU_PER_MS * 7 < ea::SET_VALUE_RATE);
+    }
+
+    #[test]
+    fn scaling_agrees_with_simenv() {
+        assert_eq!(
+            CM_PER_PULSE as f64 / 100.0,
+            simenv::spec::METERS_PER_PULSE
+        );
+        assert_eq!(DRUM_OFFSET_CM as f64 / 100.0, simenv::spec::DRUM_OFFSET_M);
+        // pu = T/10 inverts T = 1000 N/bar at 100 pu/bar.
+        assert_eq!(
+            simenv::spec::TENSION_N_PER_BAR / simenv::spec::PRESSURE_UNITS_PER_BAR,
+            TENSION_N_PER_PU as f64
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Pure fixed-point control laws, shared by master and slave modules.
+
+use crate::consts;
+use crate::math::{clamp_i64, to_u16};
+
+/// Slew-rate limited ramp: moves `current` towards `target` by at most
+/// [`consts::SLEW_PU_PER_MS`] per call.
+pub fn ramp_toward(current: u16, target: u16) -> u16 {
+    let delta = clamp_i64(
+        i64::from(target) - i64::from(current),
+        -consts::SLEW_PU_PER_MS,
+        consts::SLEW_PU_PER_MS,
+    );
+    to_u16(i64::from(current) + delta)
+}
+
+/// One PID step: `(SetValue, IsValue, integral bits, previous error
+/// bits)` → `(OutValue, new integral bits, new error bits)`.
+///
+/// The law is `Out = Set + KP·err + I/INTEG_DIV + (err − err')/KD_DIV`
+/// with `I += err/ERR_DIV`, anti-windup clamped; the feed-forward `Set`
+/// term makes the valve track the set point through the hydraulic lag,
+/// the derivative term damps the response to set-point ramps.
+pub fn pid_step(
+    set_value: u16,
+    is_value: u16,
+    integ_bits: u16,
+    prev_err_bits: u16,
+) -> (u16, u16, u16) {
+    let err = i64::from(set_value) - i64::from(is_value);
+    let prev_err = i64::from(prev_err_bits as i16);
+    let integ = clamp_i64(
+        i64::from(integ_bits as i16) + err / consts::PID_ERR_DIV,
+        -consts::PID_INTEG_CLAMP,
+        consts::PID_INTEG_CLAMP,
+    );
+    let derivative = (err - prev_err) / consts::PID_KD_DIV;
+    let out = clamp_i64(
+        i64::from(set_value) + consts::PID_KP * err + integ / consts::PID_INTEG_DIV + derivative,
+        0,
+        i64::from(consts::OUT_MAX_PU),
+    );
+    let err_bits = clamp_i64(err, -32_768, 32_767) as i16 as u16;
+    (out as u16, integ as i16 as u16, err_bits)
+}
+
+/// The checkpoint pressure law: given the velocity estimate (cm/s), the
+/// distance estimate (cm), the geometry factor (`cosθ·1000`) and the
+/// configured mass (units of 100 kg), computes the set-point pressure
+/// (pu) that stops the aircraft at [`consts::TARGET_STOP_CM`].
+///
+/// Derivation (all integer):
+/// `a_req = v²/(2·remaining)` (cm/s²) →
+/// `F = m·a = (mass·100 kg)·(a_req/100 m/s²) = mass·a_req` (N) →
+/// `T_side = F/(2·cosθ)` → `pu = T/10` (1000 N/bar at 100 pu/bar).
+pub fn checkpoint_pressure(v_est_cm_s: u16, x_cm: u16, cos1000: u16, mass_cfg: u16) -> u16 {
+    let v = i64::from(v_est_cm_s);
+    let remaining = (consts::TARGET_STOP_CM - i64::from(x_cm)).max(consts::MIN_REMAINING_CM);
+    let a_req = v * v / (2 * remaining);
+    let force_n = i64::from(mass_cfg) * a_req;
+    let cos = i64::from(cos1000).max(consts::COS_THETA_MIN_X1000);
+    let tension_n = force_n * 1000 / (2 * cos);
+    let pu = tension_n / consts::TENSION_N_PER_PU;
+    to_u16(clamp_i64(
+        pu,
+        i64::from(consts::PRETENSION_PU),
+        i64::from(consts::SET_MAX_PU),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_moves_by_at_most_slew() {
+        assert_eq!(ramp_toward(0, 10_000), consts::SLEW_PU_PER_MS as u16);
+        assert_eq!(ramp_toward(10_000, 0), 10_000 - consts::SLEW_PU_PER_MS as u16);
+        assert_eq!(ramp_toward(500, 520), 520);
+        assert_eq!(ramp_toward(500, 500), 500);
+    }
+
+    #[test]
+    fn ramp_converges() {
+        let mut v = 0u16;
+        for _ in 0..200 {
+            v = ramp_toward(v, 7_777);
+        }
+        assert_eq!(v, 7_777);
+    }
+
+    #[test]
+    fn pid_steady_state_is_feed_forward() {
+        // Is == Set, zero integral, settled error: output equals the
+        // set point.
+        let (out, integ, err_bits) = pid_step(5_000, 5_000, 0, 0);
+        assert_eq!(out, 5_000);
+        assert_eq!(integ, 0);
+        assert_eq!(err_bits as i16, 0);
+    }
+
+    #[test]
+    fn pid_drives_towards_set_point() {
+        // Pressure below set point: output above set point.
+        let (out, _, _) = pid_step(5_000, 4_000, 0, 1_000);
+        assert!(out > 5_000);
+        // Pressure above set point: output below set point.
+        let (out, _, _) = pid_step(5_000, 6_000, 0, -1_000i16 as u16);
+        assert!(out < 5_000);
+    }
+
+    #[test]
+    fn pid_derivative_damps_error_swings() {
+        // Same error, but rising vs settled: the rising case pushes
+        // harder.
+        let (rising, _, _) = pid_step(5_000, 4_000, 0, 0);
+        let (settled, _, _) = pid_step(5_000, 4_000, 0, 1_000);
+        assert!(rising > settled);
+        assert_eq!(i64::from(rising) - i64::from(settled), 1_000 / consts::PID_KD_DIV);
+    }
+
+    #[test]
+    fn pid_integral_accumulates_and_clamps() {
+        let mut integ = 0u16;
+        let mut err_bits = 0u16;
+        for _ in 0..10_000 {
+            let (_, new_integ, new_err) = pid_step(10_000, 0, integ, err_bits);
+            integ = new_integ;
+            err_bits = new_err;
+        }
+        assert_eq!(i64::from(integ as i16), consts::PID_INTEG_CLAMP);
+        // And winds back down.
+        for _ in 0..20_000 {
+            let (_, new_integ, new_err) = pid_step(0, 10_000, integ, err_bits);
+            integ = new_integ;
+            err_bits = new_err;
+        }
+        assert_eq!(i64::from(integ as i16), -consts::PID_INTEG_CLAMP);
+    }
+
+    #[test]
+    fn pid_output_saturates() {
+        let (out, _, _) = pid_step(15_000, 0, 0, 0);
+        assert!(out <= consts::OUT_MAX_PU);
+        let (out, _, _) = pid_step(0, 20_000, 0, 0);
+        assert_eq!(out, 0);
+    }
+
+    #[test]
+    fn checkpoint_pressure_scales_with_energy() {
+        // Heavier or faster → more pressure.
+        let base = checkpoint_pressure(5_500, 5_000, 800, 120);
+        assert!(checkpoint_pressure(6_500, 5_000, 800, 120) > base);
+        assert!(checkpoint_pressure(5_500, 5_000, 800, 180) > base);
+        // Further down the runway (less remaining) → more pressure.
+        assert!(checkpoint_pressure(5_500, 15_000, 950, 120) > base);
+    }
+
+    #[test]
+    fn checkpoint_pressure_respects_bounds() {
+        // Stationary: pretension floor.
+        assert_eq!(
+            checkpoint_pressure(0, 5_000, 800, 120),
+            consts::PRETENSION_PU
+        );
+        // Absurd speed: ceiling.
+        assert_eq!(
+            checkpoint_pressure(9_000, 26_000, 990, 200),
+            consts::SET_MAX_PU
+        );
+    }
+
+    #[test]
+    fn checkpoint_pressure_worst_case_under_ceiling() {
+        // Heaviest/fastest paper case at the first checkpoint must not
+        // saturate (otherwise the schedule loses authority).
+        let pu = checkpoint_pressure(7_000, 3_000, 710, 200);
+        assert!(pu < consts::SET_MAX_PU, "pu = {pu}");
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // v = 5000 cm/s, x = 8000 cm: remaining 20000 cm,
+        // a = 25e6/40e3 = 625 cm/s²; mass 140 → F = 87500 N;
+        // cos 900: T = 87500·1000/1800 = 48611 N → pu = 4861.
+        assert_eq!(checkpoint_pressure(5_000, 8_000, 900, 140), 4_861);
+    }
+}

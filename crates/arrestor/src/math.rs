@@ -1,0 +1,116 @@
+//! Integer math primitives used by the 16-bit control code.
+
+/// Integer square root: the largest `r` with `r² ≤ n`.
+///
+/// Newton iteration on `u64`; exact for all inputs. The control code
+/// uses it for the payout → distance geometry.
+pub fn isqrt(n: u64) -> u64 {
+    if n < 2 {
+        return n;
+    }
+    // Initial guess from the bit length, then Newton until fixed point.
+    let mut x = 1u64 << (n.ilog2() / 2 + 1);
+    loop {
+        let next = (x + n / x) / 2;
+        if next >= x {
+            break;
+        }
+        x = next;
+    }
+    x
+}
+
+/// Clamps `v` into `[lo, hi]` (i64 convenience mirroring the fixed-point
+/// style of the module code).
+pub fn clamp_i64(v: i64, lo: i64, hi: i64) -> i64 {
+    v.max(lo).min(hi)
+}
+
+/// Saturating conversion of an `i64` into the `u16` signal domain.
+pub fn to_u16(v: i64) -> u16 {
+    clamp_i64(v, 0, i64::from(u16::MAX)) as u16
+}
+
+/// Reconstructs the aircraft's runway distance (cm) from the tape payout
+/// (cm): `x = √((L + a)² − a²)` with `a` the drum offset.
+pub fn distance_cm_from_payout(payout_cm: i64, drum_offset_cm: i64) -> i64 {
+    let hyp = payout_cm + drum_offset_cm;
+    let sq = hyp * hyp - drum_offset_cm * drum_offset_cm;
+    if sq <= 0 {
+        0
+    } else {
+        isqrt(sq as u64) as i64
+    }
+}
+
+/// The fixed-point geometry factor `cosθ · 1000 = x·1000 / (L + a)`,
+/// floored at `min_x1000` to guard downstream divisions.
+pub fn cos_theta_x1000(x_cm: i64, payout_cm: i64, drum_offset_cm: i64, min_x1000: i64) -> i64 {
+    let hyp = payout_cm + drum_offset_cm;
+    if hyp <= 0 {
+        return min_x1000;
+    }
+    (x_cm * 1000 / hyp).max(min_x1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_squares() {
+        for r in [0u64, 1, 2, 3, 10, 255, 1_000, 65_535, 1_000_000] {
+            assert_eq!(isqrt(r * r), r);
+        }
+    }
+
+    #[test]
+    fn isqrt_floors() {
+        assert_eq!(isqrt(2), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(8), 2);
+        assert_eq!(isqrt(99), 9);
+        assert_eq!(isqrt(u64::MAX), (1u64 << 32) - 1);
+    }
+
+    #[test]
+    fn isqrt_is_monotone_near_boundaries() {
+        for n in 0u64..5_000 {
+            let r = isqrt(n);
+            assert!(r * r <= n);
+            assert!((r + 1) * (r + 1) > n);
+        }
+    }
+
+    #[test]
+    fn distance_345_triangle() {
+        // payout 2000 cm with offset 3000: hyp 5000, x = 4000.
+        assert_eq!(distance_cm_from_payout(2_000, 3_000), 4_000);
+        assert_eq!(distance_cm_from_payout(0, 3_000), 0);
+        assert_eq!(distance_cm_from_payout(-5, 3_000), 0);
+    }
+
+    #[test]
+    fn cos_theta_fixed_point() {
+        // x 4000, payout 2000, offset 3000: cos = 4000/5000 = 0.8.
+        assert_eq!(cos_theta_x1000(4_000, 2_000, 3_000, 100), 800);
+        // Floored near engagement.
+        assert_eq!(cos_theta_x1000(10, 0, 3_000, 100), 100);
+        // Degenerate hypotenuse.
+        assert_eq!(cos_theta_x1000(0, -3_000, 3_000, 100), 100);
+    }
+
+    #[test]
+    fn to_u16_saturates() {
+        assert_eq!(to_u16(-5), 0);
+        assert_eq!(to_u16(70_000), u16::MAX);
+        assert_eq!(to_u16(1_234), 1_234);
+    }
+
+    #[test]
+    fn clamp_works() {
+        assert_eq!(clamp_i64(5, 0, 10), 5);
+        assert_eq!(clamp_i64(-5, 0, 10), 0);
+        assert_eq!(clamp_i64(50, 0, 10), 10);
+    }
+}

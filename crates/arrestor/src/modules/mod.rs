@@ -1,0 +1,13 @@
+//! The six software modules of the master node (paper Figure 5).
+//!
+//! Each module is a free function over the RAM image — the modules hold
+//! no state of their own, exactly like the target's C modules whose
+//! state is all in (injectable) RAM. The executable assertions run
+//! inside their Table 4 test-location module.
+
+pub mod calc;
+pub mod clock;
+pub mod dist_s;
+pub mod pres_a;
+pub mod pres_s;
+pub mod v_reg;

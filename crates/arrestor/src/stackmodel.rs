@@ -1,0 +1,122 @@
+//! The master node's stack layout.
+//!
+//! Frames, top of the 1008-byte stack downwards:
+//!
+//! | Frame | Control | Locals | Liveness |
+//! |---|---|---|---|
+//! | `ISR_CTX` (interrupt context / scheduler return chain) | 32 | 0 | always |
+//! | `KERNEL` (cyclic-executive dispatcher) | 16 | 8 | always |
+//! | `CALC` (background process — never pops) | 12 | 40 | always |
+//! | `CLOCK`, `DIST_S`, `PRES_S`, `V_REG`, `PRES_A` | 4 each | 8–16 | when scheduled |
+//!
+//! Everything below the deepest frame is dead space (≈ 83 % of the
+//! bank), so most stack injections are inert — matching the target's
+//! real stack, which is sized for the worst-case call depth.
+//!
+//! The CALC frame's locals are *real storage*: [`crate::CalcLocals`]
+//! binds the velocity-estimation state to those bytes, so flips there
+//! are genuine data errors. Control-slot hits are interpreted by
+//! [`crate::kernel`] as control-flow faults.
+
+use memsim::{Liveness, StackLayout, STACK_BYTES};
+
+use crate::signals::CalcLocals;
+
+/// Frame names used in the layout (shared with `kernel`'s
+/// interpretation).
+pub mod frame {
+    /// Interrupt context / scheduler return chain.
+    pub const ISR_CTX: &str = "ISR_CTX";
+    /// The cyclic-executive dispatcher.
+    pub const KERNEL: &str = "KERNEL";
+    /// The background process.
+    pub const CALC: &str = "CALC";
+    /// 1 ms clock module.
+    pub const CLOCK: &str = "CLOCK";
+    /// Rotation-sensor module.
+    pub const DIST_S: &str = "DIST_S";
+    /// Pressure-sensor module.
+    pub const PRES_S: &str = "PRES_S";
+    /// PID regulator module.
+    pub const V_REG: &str = "V_REG";
+    /// Valve actuator module.
+    pub const PRES_A: &str = "PRES_A";
+}
+
+/// Builds the master's stack layout and the CALC locals binding.
+///
+/// # Panics
+///
+/// Never for the paper's stack size; the layout totals ≈ 170 bytes.
+pub fn master_stack() -> (StackLayout, CalcLocals) {
+    let mut layout = StackLayout::new(STACK_BYTES);
+    layout
+        .push_frame(frame::ISR_CTX, 32, 0, Liveness::Always)
+        .expect("fits");
+    layout
+        .push_frame(frame::KERNEL, 16, 8, Liveness::Always)
+        .expect("fits");
+    layout
+        .push_frame(frame::CALC, 12, 40, Liveness::Always)
+        .expect("fits");
+    for (name, locals) in [
+        (frame::CLOCK, 8),
+        (frame::DIST_S, 8),
+        (frame::PRES_S, 8),
+        (frame::V_REG, 16),
+        (frame::PRES_A, 8),
+    ] {
+        layout
+            .push_frame(name, 4, locals, Liveness::WhenScheduled)
+            .expect("fits");
+    }
+    let calc = layout.frame(frame::CALC).expect("just pushed");
+    let locals_base = calc.base + calc.control;
+    debug_assert!(CalcLocals::BYTES <= calc.locals);
+    (layout, CalcLocals::at(locals_base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::{FramePart, StackHit};
+
+    #[test]
+    fn layout_fits_with_dead_majority() {
+        let (layout, _) = master_stack();
+        assert!(layout.live_bytes() < STACK_BYTES / 5);
+        assert_eq!(layout.frames().len(), 8);
+    }
+
+    #[test]
+    fn calc_locals_land_in_calc_frame_locals() {
+        let (layout, locals) = master_stack();
+        for cell_addr in [
+            locals.prev_pulscnt.addr(),
+            locals.v_est.addr(),
+            locals.last_pc.addr() + 1,
+        ] {
+            match layout.classify(cell_addr) {
+                StackHit::Frame { module, part, .. } => {
+                    assert_eq!(module, frame::CALC);
+                    assert_eq!(part, FramePart::Locals);
+                }
+                StackHit::Dead => panic!("locals cell in dead space"),
+            }
+        }
+    }
+
+    #[test]
+    fn isr_context_is_topmost() {
+        let (layout, _) = master_stack();
+        let isr = layout.frame(frame::ISR_CTX).unwrap();
+        assert_eq!(isr.base + isr.size(), STACK_BYTES);
+    }
+
+    #[test]
+    fn bottom_of_stack_is_dead() {
+        let (layout, _) = master_stack();
+        assert_eq!(layout.classify(0), StackHit::Dead);
+        assert_eq!(layout.classify(400), StackHit::Dead);
+    }
+}

@@ -1,0 +1,257 @@
+//! The complete experiment target: master + slave nodes closed over the
+//! environment simulator.
+
+use ea_core::{DetectionEvent, Millis};
+use memsim::BitFlip;
+use simenv::{Constraints, FailureMonitor, Plant, PlantState, Readout, TestCase, Verdict};
+
+use crate::detectors::EaSet;
+use crate::node::{MasterNode, SensorFrame, SlaveNode};
+
+/// Configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Which assertions are enabled (logging only; behaviour-neutral
+    /// unless `recovery` is set).
+    pub version: EaSet,
+    /// Observation window, ms (paper: 40 000).
+    pub observation_ms: Millis,
+    /// Plant readout decimation, ms (0 = no capture).
+    pub record_every_ms: u64,
+    /// Failure-classification constraints.
+    pub constraints: Constraints,
+    /// When set, detections repair the signal in place (recovery
+    /// write-back). `None` reproduces the paper's detection-only
+    /// experiment.
+    pub recovery: Option<ea_core::RecoveryStrategy>,
+    /// When set, continuous rate bounds are scaled to this percentage
+    /// of their derived values (parameter-calibration sweeps).
+    pub rate_scale_percent: Option<u16>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            version: EaSet::ALL,
+            observation_ms: simenv::spec::OBSERVATION_MS,
+            record_every_ms: 0,
+            constraints: Constraints::default(),
+            recovery: None,
+            rate_scale_percent: None,
+        }
+    }
+}
+
+/// The result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Failure classification of the arrestment.
+    pub verdict: Verdict,
+    /// All raised detections, time-ordered.
+    pub detections: Vec<DetectionEvent>,
+    /// Timestamp of the first detection, ms.
+    pub first_detection_ms: Option<Millis>,
+    /// Ticks simulated.
+    pub duration_ms: Millis,
+    /// Captured plant readout (empty unless configured).
+    pub readout: Readout,
+}
+
+/// Master node + slave node + plant, stepped together at 1 ms.
+#[derive(Debug, Clone)]
+pub struct System {
+    plant: Plant,
+    master: MasterNode,
+    slave: SlaveNode,
+    failmon: FailureMonitor,
+    readout: Readout,
+    config: RunConfig,
+    case: TestCase,
+    time_ms: Millis,
+    master_valve_pu: u16,
+    slave_valve_pu: u16,
+}
+
+impl System {
+    /// A system at the engagement instant of `case`.
+    pub fn new(case: TestCase, config: RunConfig) -> Self {
+        let mass_cfg = (case.mass_kg / 100.0).round() as u16;
+        let master = match (config.recovery, config.rate_scale_percent) {
+            (Some(strategy), _) => MasterNode::with_recovery(mass_cfg, config.version, strategy),
+            (None, Some(scale)) => MasterNode::with_detectors(
+                mass_cfg,
+                crate::instrument::build_detectors_scaled(config.version, scale),
+            ),
+            (None, None) => MasterNode::new(mass_cfg, config.version),
+        };
+        System {
+            plant: Plant::new(case),
+            master,
+            slave: SlaveNode::new(),
+            failmon: FailureMonitor::new(),
+            readout: Readout::new(config.record_every_ms),
+            config,
+            case,
+            time_ms: 0,
+            master_valve_pu: 0,
+            slave_valve_pu: 0,
+        }
+    }
+
+    /// Current simulation time, ms.
+    pub const fn time_ms(&self) -> Millis {
+        self.time_ms
+    }
+
+    /// The plant's current state.
+    pub fn plant_state(&self) -> PlantState {
+        self.plant.state()
+    }
+
+    /// The master node (signals, detectors, memory).
+    pub fn master(&self) -> &MasterNode {
+        &self.master
+    }
+
+    /// Injects one SWIFI bit flip into the master's memory.
+    pub fn inject(&mut self, flip: BitFlip) {
+        self.master.inject(flip);
+    }
+
+    /// Advances the whole system by one millisecond.
+    pub fn tick(&mut self) {
+        self.time_ms += 1;
+
+        // Sensors sample the plant at the start of the tick.
+        let sensors = SensorFrame {
+            pulse_total: self.plant.pulse_count(),
+            pressure_units: self.plant.pressure_units_master(),
+        };
+        self.master_valve_pu = self.master.tick(sensors, self.time_ms);
+        let incoming = self.master.take_comm();
+        self.slave_valve_pu = self
+            .slave
+            .tick(self.plant.pressure_units_slave(), incoming);
+
+        let state = self.plant.step(
+            f64::from(self.master_valve_pu) / simenv::spec::PRESSURE_UNITS_PER_BAR,
+            f64::from(self.slave_valve_pu) / simenv::spec::PRESSURE_UNITS_PER_BAR,
+        );
+        self.failmon.observe(&state);
+        self.readout.offer(&state);
+    }
+
+    /// Whether any assertion has fired so far.
+    pub fn detected(&self) -> bool {
+        !self.master.detectors().events().is_empty()
+    }
+
+    /// Whether the arrestment outcome is already decided: the aircraft
+    /// has stopped, the node has hung with the aircraft still rolling
+    /// (inevitably an overrun), or a constraint is already breached.
+    pub fn outcome_decided(&self) -> bool {
+        let state = self.plant.state();
+        if state.arrested {
+            return true;
+        }
+        self.failmon
+            .verdict(&self.config.constraints, self.case)
+            .causes
+            .iter()
+            .any(|c| *c != simenv::FailureCause::Overrun || state.distance_m >= self.config.constraints.runway_m)
+    }
+
+    /// Runs the remaining window without injections and returns the
+    /// outcome.
+    pub fn run_to_completion(mut self) -> RunOutcome {
+        while self.time_ms < self.config.observation_ms {
+            self.tick();
+        }
+        self.finish()
+    }
+
+    /// Finalises the run: classifies the (possibly still rolling)
+    /// arrestment and collects the detection log.
+    pub fn finish(self) -> RunOutcome {
+        let verdict = self.failmon.verdict(&self.config.constraints, self.case);
+        let detections: Vec<DetectionEvent> =
+            self.master.detectors().events().to_vec();
+        let first_detection_ms = detections.first().map(|e| e.at);
+        RunOutcome {
+            verdict,
+            detections,
+            first_detection_ms,
+            duration_ms: self.time_ms,
+            readout: self.readout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_arrestment_succeeds_without_detection() {
+        let system = System::new(TestCase::new(12_000.0, 55.0), RunConfig::default());
+        let outcome = system.run_to_completion();
+        assert!(!outcome.verdict.failed(), "verdict: {:?}", outcome.verdict);
+        assert!(outcome.verdict.arrested);
+        assert!(outcome.verdict.final_distance_m < 335.0);
+        assert!(
+            outcome.detections.is_empty(),
+            "fault-free run raised {:?}",
+            outcome.detections.first()
+        );
+    }
+
+    #[test]
+    fn heaviest_fastest_case_still_stops_in_time() {
+        let system = System::new(TestCase::new(20_000.0, 70.0), RunConfig::default());
+        let outcome = system.run_to_completion();
+        assert!(!outcome.verdict.failed(), "verdict: {:?}", outcome.verdict);
+        assert!(outcome.verdict.final_distance_m < 335.0);
+        assert!(outcome.detections.is_empty());
+    }
+
+    #[test]
+    fn lightest_slowest_case_is_gentle() {
+        let system = System::new(TestCase::new(8_000.0, 40.0), RunConfig::default());
+        let outcome = system.run_to_completion();
+        assert!(!outcome.verdict.failed(), "verdict: {:?}", outcome.verdict);
+        assert!(outcome.verdict.peak_retardation_g < 1.0);
+        assert!(outcome.detections.is_empty());
+    }
+
+    #[test]
+    fn injected_msb_set_value_error_is_detected() {
+        let mut system = System::new(TestCase::new(12_000.0, 55.0), RunConfig::default());
+        let set_addr = system.master().signals().set_value.addr();
+        // Let the arrestment develop, then corrupt SetValue's MSB every
+        // 20 ms like the FIC does.
+        while system.time_ms() < 10_000 {
+            if system.time_ms() >= 20 && system.time_ms() % 20 == 0 {
+                system.inject(BitFlip::new(
+                    memsim::Region::AppRam,
+                    set_addr + 1,
+                    7,
+                ));
+            }
+            system.tick();
+        }
+        assert!(system.detected());
+    }
+
+    #[test]
+    fn readout_capture_when_configured() {
+        let config = RunConfig {
+            record_every_ms: 1_000,
+            observation_ms: 5_000,
+            ..RunConfig::default()
+        };
+        let system = System::new(TestCase::new(12_000.0, 55.0), config);
+        let outcome = system.run_to_completion();
+        assert_eq!(outcome.readout.samples().len(), 5);
+        assert_eq!(outcome.duration_ms, 5_000);
+    }
+}

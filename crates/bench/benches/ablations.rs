@@ -1,0 +1,108 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * instrumentation overhead — the whole-system tick with all seven
+//!   assertions vs none (the cost the paper's "low-cost" claim rests
+//!   on);
+//! * recovery strategies — per-violation repair cost by strategy;
+//! * wrap-around handling — the extra arithmetic of tests 4a/4b;
+//! * test-case grid density — campaign cost per error as the grid
+//!   grows (how estimate quality is paid for).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use arrestor::{EaSet, RunConfig, System};
+use ea_core::prelude::*;
+use fic::{error_set, CampaignRunner, Protocol};
+use simenv::TestCase;
+
+fn bench_instrumentation_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_instrumentation");
+    for (label, version) in [("all_seven_eas", EaSet::ALL), ("no_eas", EaSet::NONE)] {
+        group.bench_function(label, |b| {
+            let config = RunConfig {
+                version,
+                ..RunConfig::default()
+            };
+            let mut system = System::new(TestCase::new(14_000.0, 55.0), config);
+            b.iter(|| {
+                system.tick();
+                black_box(system.time_ms());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery_strategies(c: &mut Criterion) {
+    let params = ContinuousParams::builder(0, 20_000)
+        .increase_rate(0, 1_000)
+        .decrease_rate(0, 1_000)
+        .build()
+        .expect("valid");
+    let mut group = c.benchmark_group("ablation_recovery");
+    for (label, strategy) in [
+        ("none", RecoveryStrategy::None),
+        ("hold_previous", RecoveryStrategy::HoldPrevious),
+        ("clamp", RecoveryStrategy::Clamp),
+        ("rate_project", RecoveryStrategy::RateProject),
+        ("force", RecoveryStrategy::Force(0)),
+    ] {
+        group.bench_function(label, |b| {
+            let mut monitor =
+                SignalMonitor::continuous("x", params).with_recovery(strategy);
+            let _ = monitor.check(5_000);
+            b.iter(|| {
+                // Every other sample violates, exercising the recovery.
+                let _ = black_box(monitor.check(black_box(40_000)));
+                let _ = black_box(monitor.check(black_box(5_000)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wrap_handling(c: &mut Criterion) {
+    let wrapping = ContinuousParams::builder(0, 0x1_0000)
+        .increase_rate(1, 1)
+        .wrap_allowed()
+        .build()
+        .expect("valid");
+    let plain = ContinuousParams::builder(0, 0x1_0000)
+        .increase_rate(1, 1)
+        .build()
+        .expect("valid");
+    let mut group = c.benchmark_group("ablation_wrap");
+    group.bench_function("wrap_allowed_boundary", |b| {
+        b.iter(|| ea_core::assert_cont::check(&wrapping, black_box(Some(0xFFFF)), black_box(0)))
+    });
+    group.bench_function("wrap_forbidden_boundary", |b| {
+        b.iter(|| ea_core::assert_cont::check(&plain, black_box(Some(0xFFFF)), black_box(0)))
+    });
+    group.bench_function("wrap_allowed_interior", |b| {
+        b.iter(|| ea_core::assert_cont::check(&wrapping, black_box(Some(100)), black_box(101)))
+    });
+    group.finish();
+}
+
+fn bench_grid_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grid_density");
+    group.sample_size(10);
+    let errors = error_set::e1();
+    let one_error = &errors[80..81]; // one mscnt error
+    for n in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("cases_per_error", n * n), &n, |b, &n| {
+            let runner = CampaignRunner::new(Protocol::scaled(n, 2_000));
+            b.iter(|| black_box(runner.run_e1(one_error)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instrumentation_overhead,
+    bench_recovery_strategies,
+    bench_wrap_handling,
+    bench_grid_density
+);
+criterion_main!(benches);

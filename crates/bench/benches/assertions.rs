@@ -1,0 +1,102 @@
+//! Microbenchmarks of the executable assertions themselves: the cost of
+//! one test per class and per Table 2 path. These are the per-sample
+//! overheads a designer pays for each monitored signal.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ea_core::prelude::*;
+
+fn params_random() -> ContinuousParams {
+    ContinuousParams::builder(0, 20_000)
+        .increase_rate(0, 1_000)
+        .decrease_rate(0, 1_000)
+        .build()
+        .expect("valid")
+}
+
+fn params_static_wrap() -> ContinuousParams {
+    ContinuousParams::builder(0, 0x1_0000)
+        .increase_rate(1, 1)
+        .wrap_allowed()
+        .build()
+        .expect("valid")
+}
+
+fn bench_continuous_paths(c: &mut Criterion) {
+    let random = params_random();
+    let wrap = params_static_wrap();
+    let mut group = c.benchmark_group("assert_cont");
+    group.bench_function("pass_increase_3a", |b| {
+        b.iter(|| ea_core::assert_cont::check(&random, black_box(Some(5_000)), black_box(5_400)))
+    });
+    group.bench_function("pass_unchanged_5c", |b| {
+        b.iter(|| ea_core::assert_cont::check(&random, black_box(Some(5_000)), black_box(5_000)))
+    });
+    group.bench_function("pass_wrap_4b", |b| {
+        b.iter(|| ea_core::assert_cont::check(&wrap, black_box(Some(0xFFFF)), black_box(0)))
+    });
+    group.bench_function("fail_range_test1", |b| {
+        b.iter(|| ea_core::assert_cont::check(&random, black_box(Some(5_000)), black_box(70_000)))
+    });
+    group.bench_function("fail_rate_3a", |b| {
+        b.iter(|| ea_core::assert_cont::check(&random, black_box(Some(5_000)), black_box(9_000)))
+    });
+    group.finish();
+}
+
+fn bench_discrete_paths(c: &mut Criterion) {
+    let linear = DiscreteParams::linear(0..7, true).expect("valid");
+    let graph = DiscreteParams::non_linear([
+        (1, vec![2, 4]),
+        (2, vec![3, 4]),
+        (3, vec![4]),
+        (4, vec![5]),
+        (5, vec![1]),
+    ])
+    .expect("valid");
+    let mut group = c.benchmark_group("assert_disc");
+    group.bench_function("linear_pass", |b| {
+        b.iter(|| ea_core::assert_disc::check(&linear, black_box(Some(3)), black_box(4)))
+    });
+    group.bench_function("nonlinear_pass", |b| {
+        b.iter(|| ea_core::assert_disc::check(&graph, black_box(Some(1)), black_box(4)))
+    });
+    group.bench_function("fail_domain", |b| {
+        b.iter(|| ea_core::assert_disc::check(&graph, black_box(Some(1)), black_box(99)))
+    });
+    group.bench_function("fail_transition", |b| {
+        b.iter(|| ea_core::assert_disc::check(&graph, black_box(Some(1)), black_box(3)))
+    });
+    group.finish();
+}
+
+fn bench_monitor_and_bank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor");
+    group.bench_function("signal_monitor_check", |b| {
+        let mut monitor = SignalMonitor::continuous("x", params_random());
+        let mut v = 5_000;
+        b.iter(|| {
+            v = (v + 37) % 20_000;
+            let _ = black_box(monitor.check(v));
+        })
+    });
+    group.bench_function("seven_monitor_bank_tick", |b| {
+        // The per-tick cost of the paper's full instrumentation.
+        let mut detectors = arrestor::build_detectors(arrestor::EaSet::ALL);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            for ea in arrestor::EaId::ALL {
+                detectors.check(ea, black_box((t % 1_000) as u16), t);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_continuous_paths,
+    bench_discrete_paths,
+    bench_monitor_and_bank
+);
+criterion_main!(benches);

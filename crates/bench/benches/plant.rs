@@ -1,0 +1,52 @@
+//! Substrate benchmarks: the environment simulator and the complete
+//! closed-loop system. These bound how fast campaigns can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use arrestor::{RunConfig, System};
+use simenv::{Plant, TestCase};
+
+fn bench_plant(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plant");
+    group.bench_function("step_1ms", |b| {
+        let mut plant = Plant::new(TestCase::new(14_000.0, 55.0));
+        b.iter(|| {
+            black_box(plant.step(black_box(60.0), black_box(60.0)));
+        })
+    });
+    group.bench_function("full_arrestment", |b| {
+        b.iter(|| {
+            let mut plant = Plant::new(TestCase::new(14_000.0, 55.0));
+            while !plant.state().arrested && plant.state().time_ms < 60_000 {
+                plant.step(80.0, 80.0);
+            }
+            black_box(plant.state().distance_m)
+        })
+    });
+    group.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.bench_function("tick_1ms", |b| {
+        let mut system = System::new(TestCase::new(14_000.0, 55.0), RunConfig::default());
+        b.iter(|| {
+            system.tick();
+            black_box(system.time_ms());
+        })
+    });
+    group.sample_size(20);
+    group.bench_function("arrestment_10s", |b| {
+        b.iter(|| {
+            let mut system = System::new(TestCase::new(14_000.0, 55.0), RunConfig::default());
+            for _ in 0..10_000 {
+                system.tick();
+            }
+            black_box(system.plant_state().distance_m)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plant, bench_system);
+criterion_main!(benches);

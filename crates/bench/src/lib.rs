@@ -1,0 +1,4 @@
+//! Benchmark-only crate: the Criterion harnesses under `benches/`
+//! regenerate every evaluation table and figure of the paper and
+//! measure the mechanisms' runtime costs. See `benches/tables.rs` for
+//! the per-table index.

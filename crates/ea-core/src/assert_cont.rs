@@ -1,0 +1,361 @@
+//! The executable assertion for continuous signals — the exact test
+//! procedure of paper Table 2.
+//!
+//! Given the current sample `s`, the previous sample `s'` and the
+//! parameter set, the procedure runs:
+//!
+//! 1. **Test 1** `s ≤ smax` and **Test 2** `s ≥ smin` — always, in that
+//!    order; failing either fails the whole assertion immediately.
+//! 2. One group of alternatives selected by the *signal status*
+//!    (the relation between `s` and `s'`); passing **any one** alternative
+//!    passes the assertion:
+//!
+//! | status | tests |
+//! |---|---|
+//! | `s > s'` | 3a: `rmin_incr ≤ s−s' ≤ rmax_incr`; 4a: wrap allowed ∧ `rmin_decr ≤ (s'−smin)+(smax−s) ≤ rmax_decr` |
+//! | `s < s'` | 3b: `rmin_decr ≤ s'−s ≤ rmax_decr`; 4b: wrap allowed ∧ `rmin_incr ≤ (smax−s')+(s−smin) ≤ rmax_incr` |
+//! | `s = s'` | 3c: monotonically decreasing ∧ `rmin_decr = 0`; 4c: monotonically increasing ∧ `rmin_incr = 0`; 5c: random ∧ (`rmin_incr = 0` ∨ `rmin_decr = 0`) |
+
+use crate::cont::ContinuousParams;
+use crate::verdict::{Pass, Violation, ViolationKind};
+use crate::Sample;
+
+/// Runs the Table 2 assertion for one sample of a continuous signal.
+///
+/// `previous` is `None` on the very first observation, in which case only
+/// the range tests (1 and 2) apply — there is no rate to check yet.
+///
+/// Returns which test admitted the sample, or the [`Violation`] detected.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{assert_cont, ContinuousParams};
+///
+/// let params = ContinuousParams::builder(0, 100)
+///     .increase_rate(0, 10)
+///     .decrease_rate(0, 10)
+///     .build()?;
+/// assert!(assert_cont::check(&params, Some(50), 55).is_ok());
+/// assert!(assert_cont::check(&params, Some(50), 75).is_err()); // too fast
+/// # Ok::<(), ea_core::Error>(())
+/// ```
+pub fn check(
+    params: &ContinuousParams,
+    previous: Option<Sample>,
+    current: Sample,
+) -> Result<Pass, Violation> {
+    // Tests 1 and 2 always run first.
+    if current > params.smax() {
+        return Err(Violation::new(
+            ViolationKind::AboveMaximum,
+            current,
+            previous,
+        ));
+    }
+    if current < params.smin() {
+        return Err(Violation::new(
+            ViolationKind::BelowMinimum,
+            current,
+            previous,
+        ));
+    }
+    let Some(prev) = previous else {
+        return Ok(Pass::FirstSample);
+    };
+
+    if current > prev {
+        check_increased(params, prev, current)
+    } else if current < prev {
+        check_decreased(params, prev, current)
+    } else {
+        check_unchanged(params, current)
+    }
+}
+
+/// Signal status `s > s'`: test 3a, falling back to wrap test 4a.
+fn check_increased(
+    params: &ContinuousParams,
+    prev: Sample,
+    current: Sample,
+) -> Result<Pass, Violation> {
+    let delta = current - prev;
+    if params.increase().contains(delta) {
+        return Ok(Pass::Increase);
+    }
+    // Test 4a: the apparent increase is really a decrease that wrapped
+    // around below smin and re-entered at smax.
+    if params.wrap().is_allowed() {
+        let wrap_delta = (prev - params.smin()) + (params.smax() - current);
+        if params.decrease().contains(wrap_delta) {
+            return Ok(Pass::WrapDecrease);
+        }
+    }
+    Err(Violation::new(
+        ViolationKind::IncreaseRate,
+        current,
+        Some(prev),
+    ))
+}
+
+/// Signal status `s < s'`: test 3b, falling back to wrap test 4b.
+fn check_decreased(
+    params: &ContinuousParams,
+    prev: Sample,
+    current: Sample,
+) -> Result<Pass, Violation> {
+    let delta = prev - current;
+    if params.decrease().contains(delta) {
+        return Ok(Pass::Decrease);
+    }
+    // Test 4b: the apparent decrease is really an increase that wrapped
+    // around above smax and re-entered at smin.
+    if params.wrap().is_allowed() {
+        let wrap_delta = (params.smax() - prev) + (current - params.smin());
+        if params.increase().contains(wrap_delta) {
+            return Ok(Pass::WrapIncrease);
+        }
+    }
+    Err(Violation::new(
+        ViolationKind::DecreaseRate,
+        current,
+        Some(prev),
+    ))
+}
+
+/// Signal status `s = s'`: tests 3c, 4c and 5c.
+fn check_unchanged(params: &ContinuousParams, current: Sample) -> Result<Pass, Violation> {
+    let incr = params.increase();
+    let decr = params.decrease();
+
+    // Test 3c: monotonically decreasing signal that may pause.
+    if incr.is_zero() && decr.min() == 0 {
+        return Ok(Pass::UnchangedDecreasing);
+    }
+    // Test 4c: monotonically increasing signal that may pause.
+    if decr.is_zero() && incr.min() == 0 {
+        return Ok(Pass::UnchangedIncreasing);
+    }
+    // Test 5c: random signal with a zero minimum rate on some side.
+    if !decr.is_zero() && !incr.is_zero() && (incr.min() == 0 || decr.min() == 0) {
+        return Ok(Pass::UnchangedRandom);
+    }
+    Err(Violation::new(
+        ViolationKind::IllegalUnchanged,
+        current,
+        Some(current),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cont::Wrap;
+
+    fn random_params() -> ContinuousParams {
+        ContinuousParams::builder(0, 1000)
+            .increase_rate(0, 100)
+            .decrease_rate(0, 50)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn first_sample_only_range_checked() {
+        let p = random_params();
+        assert_eq!(check(&p, None, 0), Ok(Pass::FirstSample));
+        assert_eq!(check(&p, None, 1000), Ok(Pass::FirstSample));
+        assert_eq!(
+            check(&p, None, 1001).unwrap_err().kind(),
+            ViolationKind::AboveMaximum
+        );
+        assert_eq!(
+            check(&p, None, -1).unwrap_err().kind(),
+            ViolationKind::BelowMinimum
+        );
+    }
+
+    #[test]
+    fn range_tests_run_before_rate_tests() {
+        let p = random_params();
+        // Out of range AND rate-violating: must report the range failure.
+        let v = check(&p, Some(500), 5000).unwrap_err();
+        assert_eq!(v.kind(), ViolationKind::AboveMaximum);
+    }
+
+    #[test]
+    fn test_3a_increase_band() {
+        let p = random_params();
+        assert_eq!(check(&p, Some(100), 200), Ok(Pass::Increase));
+        assert_eq!(check(&p, Some(100), 101), Ok(Pass::Increase));
+        assert_eq!(
+            check(&p, Some(100), 201).unwrap_err().kind(),
+            ViolationKind::IncreaseRate
+        );
+    }
+
+    #[test]
+    fn test_3b_decrease_band() {
+        let p = random_params();
+        assert_eq!(check(&p, Some(100), 50), Ok(Pass::Decrease));
+        assert_eq!(
+            check(&p, Some(100), 49).unwrap_err().kind(),
+            ViolationKind::DecreaseRate
+        );
+    }
+
+    #[test]
+    fn increase_band_with_positive_minimum() {
+        let p = ContinuousParams::builder(0, 100)
+            .increase_rate(5, 10)
+            .decrease_rate(0, 10)
+            .build()
+            .unwrap();
+        // An increase of 3 is below rmin_incr.
+        assert_eq!(
+            check(&p, Some(10), 13).unwrap_err().kind(),
+            ViolationKind::IncreaseRate
+        );
+        assert_eq!(check(&p, Some(10), 15), Ok(Pass::Increase));
+    }
+
+    #[test]
+    fn static_monotonic_requires_exact_step() {
+        let p = ContinuousParams::builder(0, 0xFFFF)
+            .increase_rate(7, 7)
+            .build()
+            .unwrap();
+        assert_eq!(check(&p, Some(14), 21), Ok(Pass::Increase));
+        assert_eq!(
+            check(&p, Some(14), 22).unwrap_err().kind(),
+            ViolationKind::IncreaseRate
+        );
+        assert_eq!(
+            check(&p, Some(14), 20).unwrap_err().kind(),
+            ViolationKind::IncreaseRate
+        );
+        // Any decrease is illegal for a monotonically increasing signal.
+        assert_eq!(
+            check(&p, Some(14), 7).unwrap_err().kind(),
+            ViolationKind::DecreaseRate
+        );
+        // Staying put is illegal for a static-rate signal.
+        assert_eq!(
+            check(&p, Some(14), 14).unwrap_err().kind(),
+            ViolationKind::IllegalUnchanged
+        );
+    }
+
+    #[test]
+    fn test_4b_wrap_increase() {
+        // mscnt-style counter: +1 per test, wraps 0xFFFF -> 0. The wrap
+        // formula of Table 2 identifies smin with smax (circular range),
+        // so a counter with period 2^16 is parameterised with
+        // smax = 0x10000: (smax - s') + (s - smin) = 1 for 0xFFFF -> 0.
+        let p = ContinuousParams::builder(0, 0x1_0000)
+            .increase_rate(1, 1)
+            .wrap_allowed()
+            .build()
+            .unwrap();
+        assert_eq!(check(&p, Some(0xFFFF), 0), Ok(Pass::WrapIncrease));
+        // Wrapping to 1 would be a step of 2: violation.
+        assert_eq!(
+            check(&p, Some(0xFFFF), 1).unwrap_err().kind(),
+            ViolationKind::DecreaseRate
+        );
+    }
+
+    #[test]
+    fn test_4a_wrap_decrease() {
+        // A monotonically decreasing countdown that wraps smin -> smax.
+        let p = ContinuousParams::builder(0, 99)
+            .decrease_rate(1, 10)
+            .wrap_allowed()
+            .build()
+            .unwrap();
+        // From 2 down through 0, wrapping to 97: (2-0)+(99-97) = 4.
+        assert_eq!(check(&p, Some(2), 97), Ok(Pass::WrapDecrease));
+        // Too large a wrap step: (2-0)+(99-80) = 21 > 10.
+        assert_eq!(
+            check(&p, Some(2), 80).unwrap_err().kind(),
+            ViolationKind::IncreaseRate
+        );
+    }
+
+    #[test]
+    fn wrap_not_allowed_blocks_wrap_paths() {
+        let p = ContinuousParams::builder(0, 0xFFFF)
+            .increase_rate(1, 1)
+            .build()
+            .unwrap();
+        assert_eq!(
+            check(&p, Some(0xFFFF), 0).unwrap_err().kind(),
+            ViolationKind::DecreaseRate
+        );
+    }
+
+    #[test]
+    fn test_3c_unchanged_on_pausable_decreasing_signal() {
+        let p = ContinuousParams::builder(0, 100)
+            .decrease_rate(0, 5)
+            .build()
+            .unwrap();
+        assert_eq!(check(&p, Some(50), 50), Ok(Pass::UnchangedDecreasing));
+    }
+
+    #[test]
+    fn test_4c_unchanged_on_pausable_increasing_signal() {
+        let p = ContinuousParams::builder(0, 100)
+            .increase_rate(0, 5)
+            .build()
+            .unwrap();
+        assert_eq!(check(&p, Some(50), 50), Ok(Pass::UnchangedIncreasing));
+    }
+
+    #[test]
+    fn test_5c_unchanged_on_random_signal() {
+        let p = random_params();
+        assert_eq!(check(&p, Some(50), 50), Ok(Pass::UnchangedRandom));
+    }
+
+    #[test]
+    fn test_5c_rejects_random_signal_that_must_move() {
+        // Random signal whose both minimum rates are positive: it must
+        // change every test.
+        let p = ContinuousParams::builder(0, 100)
+            .increase_rate(1, 5)
+            .decrease_rate(1, 5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            check(&p, Some(50), 50).unwrap_err().kind(),
+            ViolationKind::IllegalUnchanged
+        );
+    }
+
+    #[test]
+    fn dynamic_monotonic_pause_requires_zero_min_rate() {
+        let p = ContinuousParams::builder(0, 100)
+            .increase_rate(2, 5)
+            .build()
+            .unwrap();
+        assert_eq!(
+            check(&p, Some(50), 50).unwrap_err().kind(),
+            ViolationKind::IllegalUnchanged
+        );
+    }
+
+    #[test]
+    fn negative_domain_works() {
+        let p = ContinuousParams::builder(-100, -10)
+            .increase_rate(0, 20)
+            .decrease_rate(0, 20)
+            .build()
+            .unwrap();
+        assert_eq!(check(&p, Some(-50), -40), Ok(Pass::Increase));
+        assert_eq!(
+            check(&p, Some(-50), -5).unwrap_err().kind(),
+            ViolationKind::AboveMaximum
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The executable assertion for discrete signals — paper Table 3.
+//!
+//! | class | assertions |
+//! |---|---|
+//! | random | `s ∈ D` |
+//! | sequential | `s ∈ D` **and** `s ∈ T(s')` |
+//!
+//! The paper notes that `s ∈ T(s')` implies `s ∈ D`, "but both tests are
+//! used nonetheless" — we keep that order so the reported violation
+//! distinguishes *outside domain* from *illegal transition*.
+
+use crate::disc::DiscreteParams;
+use crate::verdict::{Pass, Violation, ViolationKind};
+use crate::Sample;
+
+/// Runs the Table 3 assertion for one sample of a discrete signal.
+///
+/// `previous` is `None` on the first observation; the transition test is
+/// skipped then (and for random discrete signals always).
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{assert_disc, DiscreteParams};
+///
+/// let slot = DiscreteParams::linear(0..7, true)?;
+/// assert!(assert_disc::check(&slot, Some(3), 4).is_ok());
+/// assert!(assert_disc::check(&slot, Some(3), 5).is_err()); // skipped a slot
+/// # Ok::<(), ea_core::Error>(())
+/// ```
+pub fn check(
+    params: &DiscreteParams,
+    previous: Option<Sample>,
+    current: Sample,
+) -> Result<Pass, Violation> {
+    // First assertion: s ∈ D.
+    if !params.in_domain(current) {
+        return Err(Violation::new(
+            ViolationKind::OutsideDomain,
+            current,
+            previous,
+        ));
+    }
+    let Some(prev) = previous else {
+        return Ok(Pass::FirstSample);
+    };
+    // Second assertion (sequential only): s ∈ T(s').
+    if !params.transition_allowed(prev, current) {
+        return Err(Violation::new(
+            ViolationKind::IllegalTransition,
+            current,
+            Some(prev),
+        ));
+    }
+    Ok(Pass::Discrete)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3() -> DiscreteParams {
+        DiscreteParams::non_linear([
+            (1, vec![2, 4]),
+            (2, vec![3, 4]),
+            (3, vec![4]),
+            (4, vec![5]),
+            (5, vec![1]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn domain_test_runs_first() {
+        let params = figure3();
+        let v = check(&params, Some(1), 9).unwrap_err();
+        assert_eq!(v.kind(), ViolationKind::OutsideDomain);
+    }
+
+    #[test]
+    fn first_sample_needs_only_domain_membership() {
+        let params = figure3();
+        assert_eq!(check(&params, None, 3), Ok(Pass::FirstSample));
+        assert_eq!(
+            check(&params, None, 0).unwrap_err().kind(),
+            ViolationKind::OutsideDomain
+        );
+    }
+
+    #[test]
+    fn sequential_transition_enforced() {
+        let params = figure3();
+        assert_eq!(check(&params, Some(1), 4), Ok(Pass::Discrete));
+        assert_eq!(
+            check(&params, Some(1), 5).unwrap_err().kind(),
+            ViolationKind::IllegalTransition
+        );
+    }
+
+    #[test]
+    fn random_discrete_allows_any_domain_value() {
+        let params = DiscreteParams::random([10, 20, 30]).unwrap();
+        assert_eq!(check(&params, Some(10), 30), Ok(Pass::Discrete));
+        assert_eq!(check(&params, Some(30), 10), Ok(Pass::Discrete));
+        assert_eq!(
+            check(&params, Some(10), 11).unwrap_err().kind(),
+            ViolationKind::OutsideDomain
+        );
+    }
+
+    #[test]
+    fn staying_in_state_needs_self_loops() {
+        let strict = figure3();
+        assert_eq!(
+            check(&strict, Some(4), 4).unwrap_err().kind(),
+            ViolationKind::IllegalTransition
+        );
+        let relaxed = figure3().with_self_loops();
+        assert_eq!(check(&relaxed, Some(4), 4), Ok(Pass::Discrete));
+    }
+
+    #[test]
+    fn previous_outside_domain_is_an_illegal_transition() {
+        // If the previous value was itself corrupt but undetected (e.g.
+        // the assertion was just enabled), a move from it is flagged.
+        let params = figure3();
+        let v = check(&params, Some(99), 2).unwrap_err();
+        assert_eq!(v.kind(), ViolationKind::IllegalTransition);
+    }
+}

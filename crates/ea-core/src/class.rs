@@ -1,0 +1,233 @@
+//! The signal classification scheme of paper Figure 1.
+//!
+//! Signals split into **continuous** and **discrete**; continuous signals
+//! are *monotonic* (static or dynamic rate) or *random*; discrete signals
+//! are *sequential* (linear or non-linear) or *random*. The paper's Table 4
+//! abbreviates classes as e.g. `Co/Mo/St` or `Di/Se/Li`; [`SignalClass`]
+//! parses and displays that notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Rate flavour of a monotonic continuous signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MonotonicRate {
+    /// The signal changes by exactly one constant rate each test
+    /// (`rmin = rmax > 0` on the active direction).
+    Static,
+    /// The signal changes by any rate within a band
+    /// (`rmax > rmin ≥ 0` on the active direction).
+    Dynamic,
+}
+
+/// Sub-classes of continuous signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ContinuousKind {
+    /// Strictly one-directional change (increase xor decrease).
+    Monotonic(MonotonicRate),
+    /// May increase, decrease or stay unchanged between tests.
+    Random,
+}
+
+/// Sub-classes of sequential discrete signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SequentialKind {
+    /// Traverses the valid domain in one fixed, predefined order.
+    Linear,
+    /// Traverses the valid domain along an arbitrary predefined
+    /// transition graph (e.g. a state machine, paper Figure 3).
+    NonLinear,
+}
+
+/// Sub-classes of discrete signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DiscreteKind {
+    /// Transitions restricted by per-value transition sets `T(d)`.
+    Sequential(SequentialKind),
+    /// Any transition within the valid domain `D` is allowed.
+    Random,
+}
+
+/// A leaf of the classification tree of paper Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SignalClass {
+    /// A continuous signal (models physical quantities: temperatures,
+    /// pressures, velocities, …).
+    Continuous(ContinuousKind),
+    /// A discrete signal (models state information: operator settings,
+    /// operation modes, execution sequences, …).
+    Discrete(DiscreteKind),
+}
+
+impl SignalClass {
+    /// Continuous / monotonic / static rate (`Co/Mo/St`).
+    pub const fn continuous_static_monotonic() -> Self {
+        SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Static))
+    }
+
+    /// Continuous / monotonic / dynamic rate (`Co/Mo/Dy`).
+    pub const fn continuous_dynamic_monotonic() -> Self {
+        SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Dynamic))
+    }
+
+    /// Continuous / random (`Co/Ra`).
+    pub const fn continuous_random() -> Self {
+        SignalClass::Continuous(ContinuousKind::Random)
+    }
+
+    /// Discrete / sequential / linear (`Di/Se/Li`).
+    pub const fn discrete_linear() -> Self {
+        SignalClass::Discrete(DiscreteKind::Sequential(SequentialKind::Linear))
+    }
+
+    /// Discrete / sequential / non-linear (`Di/Se/Nl`).
+    pub const fn discrete_non_linear() -> Self {
+        SignalClass::Discrete(DiscreteKind::Sequential(SequentialKind::NonLinear))
+    }
+
+    /// Discrete / random (`Di/Ra`).
+    pub const fn discrete_random() -> Self {
+        SignalClass::Discrete(DiscreteKind::Random)
+    }
+
+    /// Whether this is a continuous class.
+    pub const fn is_continuous(self) -> bool {
+        matches!(self, SignalClass::Continuous(_))
+    }
+
+    /// Whether this is a discrete class.
+    pub const fn is_discrete(self) -> bool {
+        matches!(self, SignalClass::Discrete(_))
+    }
+
+    /// Every leaf class of the scheme, in Figure 1 order.
+    pub const ALL: [SignalClass; 6] = [
+        SignalClass::continuous_static_monotonic(),
+        SignalClass::continuous_dynamic_monotonic(),
+        SignalClass::continuous_random(),
+        SignalClass::discrete_linear(),
+        SignalClass::discrete_non_linear(),
+        SignalClass::discrete_random(),
+    ];
+}
+
+impl fmt::Display for SignalClass {
+    /// Formats in the paper's Table 4 abbreviation, e.g. `Co/Mo/Dy`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Static)) => {
+                "Co/Mo/St"
+            }
+            SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Dynamic)) => {
+                "Co/Mo/Dy"
+            }
+            SignalClass::Continuous(ContinuousKind::Random) => "Co/Ra",
+            SignalClass::Discrete(DiscreteKind::Sequential(SequentialKind::Linear)) => "Di/Se/Li",
+            SignalClass::Discrete(DiscreteKind::Sequential(SequentialKind::NonLinear)) => {
+                "Di/Se/Nl"
+            }
+            SignalClass::Discrete(DiscreteKind::Random) => "Di/Ra",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Error returned when parsing a class abbreviation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSignalClassError {
+    text: String,
+}
+
+impl fmt::Display for ParseSignalClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` is not a signal class abbreviation", self.text)
+    }
+}
+
+impl std::error::Error for ParseSignalClassError {}
+
+impl FromStr for SignalClass {
+    type Err = ParseSignalClassError;
+
+    /// Parses the paper's Table 4 notation (case-insensitive), e.g.
+    /// `"Co/Ra"`, `"Co/Mo/St"`, `"Di/Se/Li"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        let class = match lowered.as_str() {
+            "co/mo/st" => SignalClass::continuous_static_monotonic(),
+            "co/mo/dy" => SignalClass::continuous_dynamic_monotonic(),
+            "co/ra" => SignalClass::continuous_random(),
+            "di/se/li" => SignalClass::discrete_linear(),
+            "di/se/nl" => SignalClass::discrete_non_linear(),
+            "di/ra" => SignalClass::discrete_random(),
+            _ => {
+                return Err(ParseSignalClassError {
+                    text: s.to_owned(),
+                })
+            }
+        };
+        Ok(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(SignalClass::continuous_random().to_string(), "Co/Ra");
+        assert_eq!(
+            SignalClass::continuous_static_monotonic().to_string(),
+            "Co/Mo/St"
+        );
+        assert_eq!(
+            SignalClass::continuous_dynamic_monotonic().to_string(),
+            "Co/Mo/Dy"
+        );
+        assert_eq!(SignalClass::discrete_linear().to_string(), "Di/Se/Li");
+        assert_eq!(SignalClass::discrete_non_linear().to_string(), "Di/Se/Nl");
+        assert_eq!(SignalClass::discrete_random().to_string(), "Di/Ra");
+    }
+
+    #[test]
+    fn parse_round_trips_every_class() {
+        for class in SignalClass::ALL {
+            let text = class.to_string();
+            assert_eq!(text.parse::<SignalClass>().unwrap(), class);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_insensitive() {
+        assert_eq!(
+            "CO/RA".parse::<SignalClass>().unwrap(),
+            SignalClass::continuous_random()
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("Co/Xx".parse::<SignalClass>().is_err());
+        assert!("".parse::<SignalClass>().is_err());
+        assert!("continuous".parse::<SignalClass>().is_err());
+    }
+
+    #[test]
+    fn continuity_predicates() {
+        assert!(SignalClass::continuous_random().is_continuous());
+        assert!(!SignalClass::continuous_random().is_discrete());
+        assert!(SignalClass::discrete_random().is_discrete());
+        assert!(!SignalClass::discrete_random().is_continuous());
+    }
+
+    #[test]
+    fn all_lists_six_distinct_leaves() {
+        let mut classes = SignalClass::ALL.to_vec();
+        classes.sort();
+        classes.dedup();
+        assert_eq!(classes.len(), 6);
+    }
+}

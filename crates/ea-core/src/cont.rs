@@ -1,0 +1,410 @@
+//! The continuous-signal parameter set `P_cont` and its Table 1 validation.
+//!
+//! Each continuous signal is characterised by seven parameters: `smax`,
+//! `smin`, `rmin_incr`, `rmax_incr`, `rmin_decr`, `rmax_decr` and `w`
+//! (wrap-around allowed or not). Paper Table 1 constrains these per class:
+//!
+//! | Class | Constraint |
+//! |---|---|
+//! | All | `smax > smin`, `w ∈ {allowed, not allowed}` |
+//! | Static monotonic | one direction's band is `[0, 0]`, the other's is `[r, r]` with `r > 0` |
+//! | Dynamic monotonic | one direction's band is `[0, 0]`, the other's is `[rmin, rmax]` with `rmax > rmin ≥ 0` |
+//! | Random | `rmax_incr ≥ rmin_incr ≥ 0` and `rmax_decr ≥ rmin_decr ≥ 0` |
+//!
+//! All rates are magnitudes (non-negative); the decrease band bounds how
+//! much the value may *fall* per test.
+
+use serde::{Deserialize, Serialize};
+
+use crate::class::{ContinuousKind, MonotonicRate, SignalClass};
+use crate::error::{Error, RateDirection};
+use crate::Sample;
+
+/// Whether a signal may wrap around from `smax` to `smin` (or vice versa)
+/// and continue "on the other side" (paper Figure 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Wrap {
+    /// Wrap-around is allowed; the wrap tests 4a/4b of Table 2 apply.
+    Allowed,
+    /// Wrap-around is a violation.
+    NotAllowed,
+}
+
+impl Wrap {
+    /// `true` for [`Wrap::Allowed`].
+    pub const fn is_allowed(self) -> bool {
+        matches!(self, Wrap::Allowed)
+    }
+}
+
+/// A validated inclusive rate band `[min, max]`, both non-negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RateBand {
+    min: Sample,
+    max: Sample,
+}
+
+impl RateBand {
+    /// The band `[0, 0]`: this direction of change is forbidden (used to
+    /// express monotonicity).
+    pub const ZERO: RateBand = RateBand { min: 0, max: 0 };
+
+    /// Creates a band after checking `0 ≤ min ≤ max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NegativeRate`] or [`Error::InvertedRateBand`].
+    pub fn new(direction: RateDirection, min: Sample, max: Sample) -> Result<Self, Error> {
+        if min < 0 {
+            return Err(Error::NegativeRate { direction, rate: min });
+        }
+        if max < 0 {
+            return Err(Error::NegativeRate { direction, rate: max });
+        }
+        if min > max {
+            return Err(Error::InvertedRateBand { direction, min, max });
+        }
+        Ok(RateBand { min, max })
+    }
+
+    /// Lower edge of the band.
+    pub const fn min(self) -> Sample {
+        self.min
+    }
+
+    /// Upper edge of the band.
+    pub const fn max(self) -> Sample {
+        self.max
+    }
+
+    /// Whether the band is exactly `[0, 0]`.
+    pub const fn is_zero(self) -> bool {
+        self.min == 0 && self.max == 0
+    }
+
+    /// Whether `delta` (a non-negative magnitude) lies within the band.
+    pub const fn contains(self, delta: Sample) -> bool {
+        self.min <= delta && delta <= self.max
+    }
+}
+
+/// The validated seven-parameter set `P_cont` of a continuous signal.
+///
+/// Construct through [`ContinuousParams::builder`]; [`build`]
+/// enforces the Table 1 constraints, so every constructed value maps to
+/// exactly one continuous class, reported by [`classify`].
+///
+/// [`build`]: ContinuousParamsBuilder::build
+/// [`classify`]: ContinuousParams::classify
+///
+/// # Example
+///
+/// ```
+/// use ea_core::{ContinuousParams, SignalClass};
+///
+/// // A millisecond counter: statically increasing by 1, wrapping at the
+/// // 16-bit boundary (the paper's `mscnt`).
+/// let mscnt = ContinuousParams::builder(0, 0xFFFF)
+///     .increase_rate(1, 1)
+///     .wrap_allowed()
+///     .build()?;
+/// assert_eq!(mscnt.classify(), SignalClass::continuous_static_monotonic());
+/// # Ok::<(), ea_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContinuousParams {
+    smin: Sample,
+    smax: Sample,
+    incr: RateBand,
+    decr: RateBand,
+    wrap: Wrap,
+    class: SignalClass,
+}
+
+impl ContinuousParams {
+    /// Starts building a parameter set with the mandatory value range.
+    pub fn builder(smin: Sample, smax: Sample) -> ContinuousParamsBuilder {
+        ContinuousParamsBuilder {
+            smin,
+            smax,
+            incr: (0, 0),
+            decr: (0, 0),
+            wrap: Wrap::NotAllowed,
+        }
+    }
+
+    /// Minimum valid value `smin`.
+    pub const fn smin(&self) -> Sample {
+        self.smin
+    }
+
+    /// Maximum valid value `smax`.
+    pub const fn smax(&self) -> Sample {
+        self.smax
+    }
+
+    /// The increase-rate band `[rmin_incr, rmax_incr]`.
+    pub const fn increase(&self) -> RateBand {
+        self.incr
+    }
+
+    /// The decrease-rate band `[rmin_decr, rmax_decr]`.
+    pub const fn decrease(&self) -> RateBand {
+        self.decr
+    }
+
+    /// Wrap-around permission `w`.
+    pub const fn wrap(&self) -> Wrap {
+        self.wrap
+    }
+
+    /// The width of the valid range, `smax - smin`.
+    pub const fn span(&self) -> Sample {
+        self.smax - self.smin
+    }
+
+    /// The signal class these parameters encode, per Table 1.
+    ///
+    /// Classification is decided at construction time:
+    ///
+    /// * one band zero, other `[r, r]`, `r > 0` → static monotonic;
+    /// * one band zero, other `[rmin, rmax]`, `rmax > rmin` → dynamic
+    ///   monotonic;
+    /// * both bands non-zero (or one band zero-width at a non-zero point
+    ///   in *both* directions) → random.
+    pub const fn classify(&self) -> SignalClass {
+        self.class
+    }
+
+    /// Clamps `value` into `[smin, smax]`.
+    pub fn clamp(&self, value: Sample) -> Sample {
+        value.clamp(self.smin, self.smax)
+    }
+
+    /// Whether `value` lies in `[smin, smax]` (Table 2 tests 1 and 2).
+    pub fn in_range(&self, value: Sample) -> bool {
+        self.smin <= value && value <= self.smax
+    }
+
+    fn classify_bands(incr: RateBand, decr: RateBand) -> Result<SignalClass, Error> {
+        let class = match (incr.is_zero(), decr.is_zero()) {
+            (true, true) => return Err(Error::Unclassifiable),
+            (true, false) | (false, true) => {
+                let active = if incr.is_zero() { decr } else { incr };
+                if active.min == active.max {
+                    // active.min > 0 is implied: the band is not zero.
+                    SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Static))
+                } else {
+                    SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Dynamic))
+                }
+            }
+            (false, false) => SignalClass::Continuous(ContinuousKind::Random),
+        };
+        Ok(class)
+    }
+}
+
+/// Builder for [`ContinuousParams`]; see paper Table 1 for the constraints
+/// [`build`](Self::build) enforces.
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the validated parameter set"]
+pub struct ContinuousParamsBuilder {
+    smin: Sample,
+    smax: Sample,
+    incr: (Sample, Sample),
+    decr: (Sample, Sample),
+    wrap: Wrap,
+}
+
+impl ContinuousParamsBuilder {
+    /// Sets the increase-rate band `[rmin_incr, rmax_incr]`.
+    pub fn increase_rate(mut self, min: Sample, max: Sample) -> Self {
+        self.incr = (min, max);
+        self
+    }
+
+    /// Sets the decrease-rate band `[rmin_decr, rmax_decr]` (magnitudes).
+    pub fn decrease_rate(mut self, min: Sample, max: Sample) -> Self {
+        self.decr = (min, max);
+        self
+    }
+
+    /// Allows wrap-around (`w = allowed`).
+    pub fn wrap_allowed(mut self) -> Self {
+        self.wrap = Wrap::Allowed;
+        self
+    }
+
+    /// Sets wrap-around permission explicitly.
+    pub fn wrap(mut self, wrap: Wrap) -> Self {
+        self.wrap = wrap;
+        self
+    }
+
+    /// Validates against Table 1 and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyRange`] unless `smax > smin`;
+    /// * [`Error::NegativeRate`] / [`Error::InvertedRateBand`] for bad
+    ///   bands;
+    /// * [`Error::Unclassifiable`] if both bands are `[0, 0]` (no class of
+    ///   the scheme allows a signal that can never change).
+    pub fn build(self) -> Result<ContinuousParams, Error> {
+        if self.smax <= self.smin {
+            return Err(Error::EmptyRange {
+                smin: self.smin,
+                smax: self.smax,
+            });
+        }
+        let incr = RateBand::new(RateDirection::Increase, self.incr.0, self.incr.1)?;
+        let decr = RateBand::new(RateDirection::Decrease, self.decr.0, self.decr.1)?;
+        let class = ContinuousParams::classify_bands(incr, decr)?;
+        Ok(ContinuousParams {
+            smin: self.smin,
+            smax: self.smax,
+            incr,
+            decr,
+            wrap: self.wrap,
+            class,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(smin: Sample, smax: Sample) -> ContinuousParamsBuilder {
+        ContinuousParams::builder(smin, smax)
+    }
+
+    #[test]
+    fn static_monotonic_increasing() {
+        let params = p(0, 100).increase_rate(5, 5).build().unwrap();
+        assert_eq!(params.classify(), SignalClass::continuous_static_monotonic());
+    }
+
+    #[test]
+    fn static_monotonic_decreasing() {
+        let params = p(0, 100).decrease_rate(3, 3).build().unwrap();
+        assert_eq!(params.classify(), SignalClass::continuous_static_monotonic());
+    }
+
+    #[test]
+    fn dynamic_monotonic_increasing() {
+        let params = p(0, 100).increase_rate(0, 7).build().unwrap();
+        assert_eq!(
+            params.classify(),
+            SignalClass::continuous_dynamic_monotonic()
+        );
+    }
+
+    #[test]
+    fn dynamic_monotonic_decreasing_with_positive_min() {
+        let params = p(0, 100).decrease_rate(1, 7).build().unwrap();
+        assert_eq!(
+            params.classify(),
+            SignalClass::continuous_dynamic_monotonic()
+        );
+    }
+
+    #[test]
+    fn random_when_both_directions_possible() {
+        let params = p(0, 100)
+            .increase_rate(0, 4)
+            .decrease_rate(0, 9)
+            .build()
+            .unwrap();
+        assert_eq!(params.classify(), SignalClass::continuous_random());
+    }
+
+    #[test]
+    fn random_with_fixed_step_both_ways() {
+        // Both bands are [2, 2]: not monotonic, so the scheme calls it
+        // random even though each step has a fixed magnitude.
+        let params = p(0, 100)
+            .increase_rate(2, 2)
+            .decrease_rate(2, 2)
+            .build()
+            .unwrap();
+        assert_eq!(params.classify(), SignalClass::continuous_random());
+    }
+
+    #[test]
+    fn rejects_empty_range() {
+        assert_eq!(
+            p(10, 10).increase_rate(1, 1).build().unwrap_err(),
+            Error::EmptyRange { smin: 10, smax: 10 }
+        );
+        assert!(matches!(
+            p(10, 5).increase_rate(1, 1).build().unwrap_err(),
+            Error::EmptyRange { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_inverted_band() {
+        assert!(matches!(
+            p(0, 10).increase_rate(5, 2).build().unwrap_err(),
+            Error::InvertedRateBand {
+                direction: RateDirection::Increase,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_rates() {
+        assert!(matches!(
+            p(0, 10).decrease_rate(-1, 2).build().unwrap_err(),
+            Error::NegativeRate {
+                direction: RateDirection::Decrease,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_frozen_signal() {
+        assert_eq!(p(0, 10).build().unwrap_err(), Error::Unclassifiable);
+    }
+
+    #[test]
+    fn wrap_default_not_allowed() {
+        let params = p(0, 10).increase_rate(1, 1).build().unwrap();
+        assert_eq!(params.wrap(), Wrap::NotAllowed);
+        let wrapping = p(0, 10).increase_rate(1, 1).wrap_allowed().build().unwrap();
+        assert!(wrapping.wrap().is_allowed());
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let params = p(-50, 50)
+            .increase_rate(1, 4)
+            .decrease_rate(2, 8)
+            .build()
+            .unwrap();
+        assert_eq!(params.smin(), -50);
+        assert_eq!(params.smax(), 50);
+        assert_eq!(params.span(), 100);
+        assert_eq!(params.increase().min(), 1);
+        assert_eq!(params.increase().max(), 4);
+        assert_eq!(params.decrease().min(), 2);
+        assert_eq!(params.decrease().max(), 8);
+        assert!(params.in_range(0));
+        assert!(!params.in_range(51));
+        assert_eq!(params.clamp(1000), 50);
+        assert_eq!(params.clamp(-1000), -50);
+    }
+
+    #[test]
+    fn rate_band_contains() {
+        let band = RateBand::new(RateDirection::Increase, 2, 5).unwrap();
+        assert!(!band.contains(1));
+        assert!(band.contains(2));
+        assert!(band.contains(5));
+        assert!(!band.contains(6));
+        assert!(RateBand::ZERO.contains(0));
+    }
+}

@@ -1,0 +1,181 @@
+//! The error-detection coverage algebra of paper Section 2.4.
+//!
+//! Given that an error has occurred, define:
+//!
+//! * `Pem` — probability the error location is in a monitored signal;
+//! * `Pen = 1 − Pem` — probability it is not;
+//! * `Pprop` — probability an unmonitored error propagates to a monitored
+//!   signal;
+//! * `Pds` — probability an error *in* a monitored signal is detected.
+//!
+//! Then the total detection probability is
+//! `Pdetect = (Pen·Pprop + Pem)·Pds`.
+//!
+//! `Pds` can be assessed independently of the error-occurrence
+//! distribution (the paper's error set E1 does exactly that); `Pdetect`
+//! is what a random-location campaign (error set E2) estimates directly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// A validated probability in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Probability(f64);
+
+impl Probability {
+    /// Validates `value ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProbability`] otherwise (including NaN).
+    pub fn new(name: &'static str, value: f64) -> Result<Self, Error> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(Error::InvalidProbability { name, value });
+        }
+        Ok(Probability(value))
+    }
+
+    /// The inner value.
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The complement `1 − p`.
+    pub fn complement(self) -> Probability {
+        Probability(1.0 - self.0)
+    }
+}
+
+/// The three independent quantities of the Section 2.4 expression.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoverageModel {
+    p_em: Probability,
+    p_prop: Probability,
+    p_ds: Probability,
+}
+
+impl CoverageModel {
+    /// Builds the model from raw probabilities.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProbability`] if any argument is outside `[0, 1]`.
+    pub fn new(p_em: f64, p_prop: f64, p_ds: f64) -> Result<Self, Error> {
+        Ok(CoverageModel {
+            p_em: Probability::new("Pem", p_em)?,
+            p_prop: Probability::new("Pprop", p_prop)?,
+            p_ds: Probability::new("Pds", p_ds)?,
+        })
+    }
+
+    /// `Pem`: error located in a monitored signal.
+    pub const fn p_em(&self) -> f64 {
+        self.p_em.value()
+    }
+
+    /// `Pen = 1 − Pem`.
+    pub fn p_en(&self) -> f64 {
+        self.p_em.complement().value()
+    }
+
+    /// `Pprop`: unmonitored error propagates to a monitored signal.
+    pub const fn p_prop(&self) -> f64 {
+        self.p_prop.value()
+    }
+
+    /// `Pds`: detection given presence in a monitored signal.
+    pub const fn p_ds(&self) -> f64 {
+        self.p_ds.value()
+    }
+
+    /// The paper's total coverage: `Pdetect = (Pen·Pprop + Pem)·Pds`.
+    pub fn p_detect(&self) -> f64 {
+        (self.p_en() * self.p_prop() + self.p_em()) * self.p_ds()
+    }
+
+    /// Solves the expression backwards for `Pprop`, given a measured
+    /// `Pdetect` (e.g. from error set E2) and this model's `Pem`/`Pds`.
+    ///
+    /// Returns `None` when the equation has no solution in `[0, 1]` —
+    /// i.e. the measured coverage is inconsistent with `Pem` and `Pds`
+    /// (or `Pds = 0` / `Pen = 0` makes `Pprop` unidentifiable).
+    pub fn infer_p_prop(&self, p_detect: f64) -> Option<f64> {
+        if self.p_ds() == 0.0 || self.p_en() == 0.0 {
+            return None;
+        }
+        let p_prop = (p_detect / self.p_ds() - self.p_em()) / self.p_en();
+        (0.0..=1.0).contains(&p_prop).then_some(p_prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(Probability::new("p", 0.0).is_ok());
+        assert!(Probability::new("p", 1.0).is_ok());
+        assert!(Probability::new("p", -0.01).is_err());
+        assert!(Probability::new("p", 1.01).is_err());
+        assert!(Probability::new("p", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pdetect_formula() {
+        // Paper discussion: with errors uniformly over monitored signals
+        // (Pem = 1), Pdetect equals Pds.
+        let all_monitored = CoverageModel::new(1.0, 0.0, 0.74).unwrap();
+        assert!((all_monitored.p_detect() - 0.74).abs() < 1e-12);
+
+        // No monitored locations and no propagation: nothing detected.
+        let nothing = CoverageModel::new(0.0, 0.0, 0.99).unwrap();
+        assert_eq!(nothing.p_detect(), 0.0);
+
+        // Mixed: Pem = 0.2, Pprop = 0.5, Pds = 0.8
+        // => (0.8*0.5 + 0.2) * 0.8 = 0.48
+        let mixed = CoverageModel::new(0.2, 0.5, 0.8).unwrap();
+        assert!((mixed.p_detect() - 0.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdetect_is_monotone_in_each_argument() {
+        let base = CoverageModel::new(0.3, 0.4, 0.6).unwrap();
+        let more_prop = CoverageModel::new(0.3, 0.5, 0.6).unwrap();
+        let more_em = CoverageModel::new(0.4, 0.4, 0.6).unwrap();
+        let more_ds = CoverageModel::new(0.3, 0.4, 0.7).unwrap();
+        assert!(more_prop.p_detect() > base.p_detect());
+        assert!(more_em.p_detect() > base.p_detect());
+        assert!(more_ds.p_detect() > base.p_detect());
+    }
+
+    #[test]
+    fn infer_p_prop_round_trips() {
+        let model = CoverageModel::new(0.2, 0.5, 0.8).unwrap();
+        let measured = model.p_detect();
+        let inferred = model.infer_p_prop(measured).unwrap();
+        assert!((inferred - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infer_p_prop_rejects_inconsistent_measurements() {
+        let model = CoverageModel::new(0.2, 0.0, 0.5).unwrap();
+        // Pdetect cannot exceed Pds: 0.6 > 0.5 is impossible.
+        assert_eq!(model.infer_p_prop(0.6), None);
+    }
+
+    #[test]
+    fn infer_p_prop_unidentifiable_cases() {
+        let no_ds = CoverageModel::new(0.2, 0.5, 0.0).unwrap();
+        assert_eq!(no_ds.infer_p_prop(0.0), None);
+        let all_monitored = CoverageModel::new(1.0, 0.5, 0.9).unwrap();
+        assert_eq!(all_monitored.infer_p_prop(0.9), None);
+    }
+
+    #[test]
+    fn pen_is_complement() {
+        let model = CoverageModel::new(0.25, 0.5, 0.9).unwrap();
+        assert!((model.p_en() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,353 @@
+//! The discrete-signal parameter set `P_disc = {D, T(d)}`.
+//!
+//! A discrete signal has a valid domain `D` and, if *sequential*, one set
+//! of valid transitions `T(d)` for every `d ∈ D`. The paper's example
+//! (Figure 3) is a five-state machine with `D = {v1..v5}` and
+//! `T(v1) = {v2, v4}`, `T(v2) = {v3, v4}`, `T(v3) = {v4}`, `T(v4) = {v5}`,
+//! `T(v5) = {v1}`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::class::{DiscreteKind, SequentialKind, SignalClass};
+use crate::error::Error;
+use crate::Sample;
+
+/// The validated parameter set of a discrete signal.
+///
+/// Constructed by one of three constructors matching the three discrete
+/// leaf classes:
+///
+/// * [`DiscreteParams::random`] — any transition within `D` is legal;
+/// * [`DiscreteParams::linear`] — `D` is traversed in one fixed order;
+/// * [`DiscreteParams::non_linear`] — an explicit transition graph.
+///
+/// # Example
+///
+/// ```
+/// use ea_core::DiscreteParams;
+///
+/// // Paper Figure 3: a five-state non-linear sequential signal.
+/// let params = DiscreteParams::non_linear([
+///     (1, vec![2, 4]),
+///     (2, vec![3, 4]),
+///     (3, vec![4]),
+///     (4, vec![5]),
+///     (5, vec![1]),
+/// ])?;
+/// assert!(params.transition_allowed(1, 4));
+/// assert!(!params.transition_allowed(1, 3));
+/// # Ok::<(), ea_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscreteParams {
+    domain: BTreeSet<Sample>,
+    /// `None` for random discrete signals (any transition within `D`).
+    transitions: Option<BTreeMap<Sample, BTreeSet<Sample>>>,
+    class: SignalClass,
+}
+
+impl DiscreteParams {
+    /// A random discrete signal: any value in `D`, any transition.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyDomain`] if `domain` yields no values.
+    pub fn random<I>(domain: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = Sample>,
+    {
+        let domain: BTreeSet<Sample> = domain.into_iter().collect();
+        if domain.is_empty() {
+            return Err(Error::EmptyDomain);
+        }
+        Ok(DiscreteParams {
+            domain,
+            transitions: None,
+            class: SignalClass::discrete_random(),
+        })
+    }
+
+    /// A linear sequential signal traversing `order` one value after
+    /// another; when `wrap` is true the last value transitions back to the
+    /// first (the paper's `ms_slot_nbr` cycles 0, 1, …, 6, 0, …).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::LinearTooShort`] for fewer than two distinct values;
+    /// * [`Error::TransitionOutsideDomain`] never occurs here (the order
+    ///   defines the domain) but duplicated values are rejected as
+    ///   [`Error::LinearTooShort`] once deduplicated.
+    pub fn linear<I>(order: I, wrap: bool) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = Sample>,
+    {
+        let order: Vec<Sample> = order.into_iter().collect();
+        let domain: BTreeSet<Sample> = order.iter().copied().collect();
+        if domain.len() < 2 || domain.len() != order.len() {
+            return Err(Error::LinearTooShort);
+        }
+        let mut transitions: BTreeMap<Sample, BTreeSet<Sample>> = BTreeMap::new();
+        for window in order.windows(2) {
+            transitions
+                .entry(window[0])
+                .or_default()
+                .insert(window[1]);
+        }
+        let last = *order.last().expect("order has at least two values");
+        let entry = transitions.entry(last).or_default();
+        if wrap {
+            entry.insert(order[0]);
+        }
+        Ok(DiscreteParams {
+            domain,
+            transitions: Some(transitions),
+            class: SignalClass::discrete_linear(),
+        })
+    }
+
+    /// A non-linear sequential signal with an explicit transition graph:
+    /// one `(d, T(d))` pair per domain value.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyDomain`] for an empty graph;
+    /// * [`Error::TransitionOutsideDomain`] if some `T(d)` targets a value
+    ///   that has no own entry (every value reachable must be in `D`, and
+    ///   every `d ∈ D` must define `T(d)` — supply an empty set for sink
+    ///   states).
+    pub fn non_linear<I, T>(graph: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = (Sample, T)>,
+        T: IntoIterator<Item = Sample>,
+    {
+        let mut transitions: BTreeMap<Sample, BTreeSet<Sample>> = BTreeMap::new();
+        for (from, targets) in graph {
+            transitions
+                .entry(from)
+                .or_default()
+                .extend(targets);
+        }
+        if transitions.is_empty() {
+            return Err(Error::EmptyDomain);
+        }
+        let domain: BTreeSet<Sample> = transitions.keys().copied().collect();
+        for (from, targets) in &transitions {
+            for to in targets {
+                if !domain.contains(to) {
+                    return Err(Error::TransitionOutsideDomain {
+                        from: *from,
+                        to: *to,
+                    });
+                }
+            }
+        }
+        Ok(DiscreteParams {
+            domain,
+            transitions: Some(transitions),
+            class: SignalClass::discrete_non_linear(),
+        })
+    }
+
+    /// The valid domain `D`.
+    pub fn domain(&self) -> &BTreeSet<Sample> {
+        &self.domain
+    }
+
+    /// The transition set `T(d)`, or `None` when `d ∉ D` or the signal is
+    /// random (in which case every transition inside `D` is legal).
+    pub fn transitions_from(&self, d: Sample) -> Option<&BTreeSet<Sample>> {
+        self.transitions.as_ref().and_then(|map| map.get(&d))
+    }
+
+    /// The signal class these parameters encode.
+    pub const fn classify(&self) -> SignalClass {
+        self.class
+    }
+
+    /// Whether the signal is sequential (has transition restrictions).
+    pub const fn is_sequential(&self) -> bool {
+        matches!(
+            self.class,
+            SignalClass::Discrete(DiscreteKind::Sequential(_))
+        )
+    }
+
+    /// Whether this is a *linear* sequential signal.
+    pub const fn is_linear(&self) -> bool {
+        matches!(
+            self.class,
+            SignalClass::Discrete(DiscreteKind::Sequential(SequentialKind::Linear))
+        )
+    }
+
+    /// Table 3, first assertion: `s ∈ D`.
+    pub fn in_domain(&self, s: Sample) -> bool {
+        self.domain.contains(&s)
+    }
+
+    /// Table 3, second assertion for sequential signals: `s ∈ T(s')`,
+    /// taken strictly — an unchanged value is legal only if `d ∈ T(d)`.
+    ///
+    /// For signals that are sampled faster than they change (the common
+    /// case for state variables), build the parameters with
+    /// [`with_self_loops`](Self::with_self_loops). For signals tested
+    /// exactly once per change (like the paper's `ms_slot_nbr`, tested
+    /// every scheduler tick), the strict form detects stuck-at errors.
+    ///
+    /// For random discrete signals any pair of domain values is allowed.
+    pub fn transition_allowed(&self, previous: Sample, current: Sample) -> bool {
+        if !self.in_domain(current) || !self.in_domain(previous) {
+            return false;
+        }
+        match &self.transitions {
+            None => true,
+            Some(map) => map
+                .get(&previous)
+                .is_some_and(|targets| targets.contains(&current)),
+        }
+    }
+
+    /// Adds `d ∈ T(d)` for every domain value: an unchanged sample is
+    /// legal (for signals sampled faster than they change). No-op for
+    /// random discrete signals.
+    #[must_use]
+    pub fn with_self_loops(mut self) -> Self {
+        if let Some(map) = &mut self.transitions {
+            for (d, targets) in map.iter_mut() {
+                targets.insert(*d);
+            }
+        }
+        self
+    }
+
+    /// An arbitrary valid value, useful as a recovery target.
+    pub fn any_valid(&self) -> Sample {
+        *self.domain.iter().next().expect("domain is never empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3() -> DiscreteParams {
+        DiscreteParams::non_linear([
+            (1, vec![2, 4]),
+            (2, vec![3, 4]),
+            (3, vec![4]),
+            (4, vec![5]),
+            (5, vec![1]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn figure3_domain_and_transitions() {
+        let params = figure3();
+        assert_eq!(
+            params.domain().iter().copied().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        assert!(params.transition_allowed(1, 2));
+        assert!(params.transition_allowed(1, 4));
+        assert!(params.transition_allowed(2, 3));
+        assert!(params.transition_allowed(2, 4));
+        assert!(params.transition_allowed(3, 4));
+        assert!(params.transition_allowed(4, 5));
+        assert!(params.transition_allowed(5, 1));
+        assert!(!params.transition_allowed(1, 3));
+        assert!(!params.transition_allowed(1, 5));
+        assert!(!params.transition_allowed(4, 1));
+        assert_eq!(params.classify(), SignalClass::discrete_non_linear());
+    }
+
+    #[test]
+    fn unchanged_value_is_illegal_unless_self_loops_added() {
+        let strict = figure3();
+        for v in 1..=5 {
+            assert!(!strict.transition_allowed(v, v));
+        }
+        let relaxed = figure3().with_self_loops();
+        for v in 1..=5 {
+            assert!(relaxed.transition_allowed(v, v));
+        }
+        // Self-loops do not add any other transition.
+        assert!(!relaxed.transition_allowed(1, 3));
+    }
+
+    #[test]
+    fn linear_with_wrap_models_slot_counter() {
+        let params = DiscreteParams::linear(0..7, true).unwrap();
+        assert!(params.is_linear());
+        for slot in 0..6 {
+            assert!(params.transition_allowed(slot, slot + 1));
+        }
+        assert!(params.transition_allowed(6, 0));
+        assert!(!params.transition_allowed(0, 2));
+        assert!(!params.transition_allowed(6, 5));
+    }
+
+    #[test]
+    fn linear_without_wrap_makes_last_a_sink() {
+        let params = DiscreteParams::linear([10, 20, 30], false).unwrap();
+        assert!(params.transition_allowed(20, 30));
+        assert!(!params.transition_allowed(30, 10));
+        // Staying at the sink needs an explicit self-loop.
+        assert!(!params.transition_allowed(30, 30));
+        assert!(params.with_self_loops().transition_allowed(30, 30));
+    }
+
+    #[test]
+    fn linear_rejects_short_or_duplicated_orders() {
+        assert_eq!(
+            DiscreteParams::linear([1], true).unwrap_err(),
+            Error::LinearTooShort
+        );
+        assert_eq!(
+            DiscreteParams::linear([1, 1, 2], true).unwrap_err(),
+            Error::LinearTooShort
+        );
+    }
+
+    #[test]
+    fn random_allows_any_domain_pair() {
+        let params = DiscreteParams::random([2, 4, 8]).unwrap();
+        assert!(params.transition_allowed(2, 8));
+        assert!(params.transition_allowed(8, 2));
+        assert!(!params.transition_allowed(2, 3));
+        assert!(!params.in_domain(5));
+        assert_eq!(params.classify(), SignalClass::discrete_random());
+        assert!(params.transitions_from(2).is_none());
+    }
+
+    #[test]
+    fn random_rejects_empty_domain() {
+        assert_eq!(
+            DiscreteParams::random(std::iter::empty()).unwrap_err(),
+            Error::EmptyDomain
+        );
+    }
+
+    #[test]
+    fn non_linear_rejects_dangling_target() {
+        let err = DiscreteParams::non_linear([(1, vec![2])]).unwrap_err();
+        assert_eq!(err, Error::TransitionOutsideDomain { from: 1, to: 2 });
+    }
+
+    #[test]
+    fn non_linear_sink_states_need_explicit_empty_set() {
+        let params =
+            DiscreteParams::non_linear([(1, vec![2]), (2, Vec::new())]).unwrap();
+        assert!(params.transition_allowed(1, 2));
+        assert!(!params.transition_allowed(2, 1));
+        assert!(params.transitions_from(2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn any_valid_is_in_domain() {
+        let params = figure3();
+        assert!(params.in_domain(params.any_valid()));
+    }
+}

@@ -1,0 +1,276 @@
+//! Dynamic constraints: value-dependent rate bounds.
+//!
+//! The paper's parameters are static, but it notes that "dynamic
+//! constraints as in \[Stroph & Clarke 1998\] and \[Clegg & Marzullo
+//! 1996\] may also be considered" (§2.1). This module implements that
+//! extension: the admissible change rate becomes a **piecewise-linear
+//! function of the current value**, so a test can be tight where the
+//! physics is tight.
+//!
+//! The canonical example is a first-order plant like the case study's
+//! hydraulic valve: `dP/dt = (cmd − P)/τ` means the pressure can rise
+//! fast when low but only slowly when already near the commanded
+//! ceiling. A static bound must admit the worst case everywhere; a
+//! [`RateProfile`] shrinks the envelope with the value and catches
+//! errors the static bound lets through.
+//!
+//! # Example
+//!
+//! ```
+//! use ea_core::dynamic::{DynamicParams, RateProfile};
+//! use ea_core::ContinuousParams;
+//!
+//! // Static envelope: up to 1000 units/test anywhere in [0, 20000].
+//! let base = ContinuousParams::builder(0, 20_000)
+//!     .increase_rate(0, 1_000)
+//!     .decrease_rate(0, 1_000)
+//!     .build()?;
+//! // Dynamic refinement: near the top the plant can only creep.
+//! let profile = RateProfile::new([(0, 1_000), (20_000, 50)])?;
+//! let params = DynamicParams::new(base).with_increase_profile(profile);
+//!
+//! // A +600 jump at value 19000 passes the static test…
+//! assert!(ea_core::assert_cont::check(&base, Some(19_000), 19_600).is_ok());
+//! // …but violates the physics-aware dynamic bound (≈ 98 at 19000).
+//! assert!(params.check(Some(19_000), 19_600).is_err());
+//! # Ok::<(), ea_core::Error>(())
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::cont::ContinuousParams;
+use crate::error::Error;
+use crate::verdict::{Pass, Violation, ViolationKind};
+use crate::Sample;
+
+/// A piecewise-linear maximum-rate profile over the signal's value
+/// domain: `(value, max_rate)` knots, linearly interpolated, clamped at
+/// the ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateProfile {
+    knots: Vec<(Sample, Sample)>,
+}
+
+impl RateProfile {
+    /// Builds a profile from knots (sorted by value internally).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::EmptyDomain`] with no knots;
+    /// * [`Error::NegativeRate`] if any knot's rate is negative.
+    pub fn new<I>(knots: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = (Sample, Sample)>,
+    {
+        let mut knots: Vec<(Sample, Sample)> = knots.into_iter().collect();
+        if knots.is_empty() {
+            return Err(Error::EmptyDomain);
+        }
+        for &(_, rate) in &knots {
+            if rate < 0 {
+                return Err(Error::NegativeRate {
+                    direction: crate::error::RateDirection::Increase,
+                    rate,
+                });
+            }
+        }
+        knots.sort_by_key(|&(value, _)| value);
+        Ok(RateProfile { knots })
+    }
+
+    /// The maximum admissible rate at `value`.
+    pub fn max_rate_at(&self, value: Sample) -> Sample {
+        let first = self.knots[0];
+        let last = *self.knots.last().expect("non-empty");
+        if value <= first.0 {
+            return first.1;
+        }
+        if value >= last.0 {
+            return last.1;
+        }
+        for pair in self.knots.windows(2) {
+            let (x0, r0) = pair[0];
+            let (x1, r1) = pair[1];
+            if value <= x1 {
+                // Integer linear interpolation; x1 > x0 after sort and
+                // the equal-knot case was caught by the bounds above.
+                if x1 == x0 {
+                    return r1;
+                }
+                return r0 + (r1 - r0) * (value - x0) / (x1 - x0);
+            }
+        }
+        last.1
+    }
+}
+
+/// Continuous-signal parameters with optional dynamic rate profiles.
+///
+/// Range tests (Table 2 tests 1 and 2) and the static bands still apply;
+/// a profile *additionally* bounds the change by the rate admissible at
+/// the previous value. Wrap-around is not combined with profiles — a
+/// wrapping signal's "current value" is ambiguous at the seam, so the
+/// static wrap tests handle it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicParams {
+    base: ContinuousParams,
+    incr_profile: Option<RateProfile>,
+    decr_profile: Option<RateProfile>,
+}
+
+impl DynamicParams {
+    /// Wraps a static parameter set with no profiles yet.
+    pub fn new(base: ContinuousParams) -> Self {
+        DynamicParams {
+            base,
+            incr_profile: None,
+            decr_profile: None,
+        }
+    }
+
+    /// Adds a value-dependent bound on increases.
+    #[must_use]
+    pub fn with_increase_profile(mut self, profile: RateProfile) -> Self {
+        self.incr_profile = Some(profile);
+        self
+    }
+
+    /// Adds a value-dependent bound on decreases.
+    #[must_use]
+    pub fn with_decrease_profile(mut self, profile: RateProfile) -> Self {
+        self.decr_profile = Some(profile);
+        self
+    }
+
+    /// The underlying static parameters.
+    pub fn base(&self) -> &ContinuousParams {
+        &self.base
+    }
+
+    /// Runs the extended assertion: the full static Table 2 procedure,
+    /// then the dynamic refinement.
+    pub fn check(&self, previous: Option<Sample>, current: Sample) -> Result<Pass, Violation> {
+        let pass = crate::assert_cont::check(&self.base, previous, current)?;
+        let Some(prev) = previous else {
+            return Ok(pass);
+        };
+        if current > prev {
+            if let Some(profile) = &self.incr_profile {
+                if current - prev > profile.max_rate_at(prev) {
+                    return Err(Violation::new(
+                        ViolationKind::IncreaseRate,
+                        current,
+                        Some(prev),
+                    ));
+                }
+            }
+        } else if current < prev {
+            if let Some(profile) = &self.decr_profile {
+                if prev - current > profile.max_rate_at(prev) {
+                    return Err(Violation::new(
+                        ViolationKind::DecreaseRate,
+                        current,
+                        Some(prev),
+                    ));
+                }
+            }
+        }
+        Ok(pass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ContinuousParams {
+        ContinuousParams::builder(0, 20_000)
+            .increase_rate(0, 1_000)
+            .decrease_rate(0, 1_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn profile_interpolates_and_clamps() {
+        let profile = RateProfile::new([(0, 1_000), (10_000, 500), (20_000, 0)]).unwrap();
+        assert_eq!(profile.max_rate_at(-5), 1_000);
+        assert_eq!(profile.max_rate_at(0), 1_000);
+        assert_eq!(profile.max_rate_at(5_000), 750);
+        assert_eq!(profile.max_rate_at(10_000), 500);
+        assert_eq!(profile.max_rate_at(15_000), 250);
+        assert_eq!(profile.max_rate_at(20_000), 0);
+        assert_eq!(profile.max_rate_at(90_000), 0);
+    }
+
+    #[test]
+    fn unsorted_knots_are_sorted() {
+        let profile = RateProfile::new([(10_000, 500), (0, 1_000)]).unwrap();
+        assert_eq!(profile.max_rate_at(5_000), 750);
+    }
+
+    #[test]
+    fn rejects_bad_profiles() {
+        assert_eq!(
+            RateProfile::new(std::iter::empty()).unwrap_err(),
+            Error::EmptyDomain
+        );
+        assert!(matches!(
+            RateProfile::new([(0, -3)]).unwrap_err(),
+            Error::NegativeRate { .. }
+        ));
+    }
+
+    #[test]
+    fn dynamic_bound_tightens_where_static_is_loose() {
+        let profile = RateProfile::new([(0, 1_000), (20_000, 50)]).unwrap();
+        let params = DynamicParams::new(base()).with_increase_profile(profile);
+        // Near the bottom the full static envelope applies.
+        assert!(params.check(Some(100), 1_000).is_ok());
+        // Near the top a jump the static test admits is rejected.
+        assert!(
+            crate::assert_cont::check(&base(), Some(19_000), 19_600).is_ok(),
+            "static bound admits the jump"
+        );
+        let violation = params.check(Some(19_000), 19_600).unwrap_err();
+        assert_eq!(violation.kind(), ViolationKind::IncreaseRate);
+    }
+
+    #[test]
+    fn static_violations_still_reported_first() {
+        let profile = RateProfile::new([(0, 1_000)]).unwrap();
+        let params = DynamicParams::new(base()).with_increase_profile(profile);
+        let violation = params.check(Some(100), 90_000).unwrap_err();
+        assert_eq!(violation.kind(), ViolationKind::AboveMaximum);
+    }
+
+    #[test]
+    fn decrease_profile_is_independent() {
+        let params = DynamicParams::new(base())
+            .with_decrease_profile(RateProfile::new([(0, 10), (20_000, 1_000)]).unwrap());
+        // Decreases near the bottom are almost forbidden…
+        assert!(params.check(Some(500), 400).is_err());
+        // …while the same magnitude near the top is fine.
+        assert!(params.check(Some(19_000), 18_900).is_ok());
+        // Increases are untouched by the decrease profile.
+        assert!(params.check(Some(500), 1_400).is_ok());
+    }
+
+    #[test]
+    fn first_sample_skips_profiles() {
+        let params = DynamicParams::new(base())
+            .with_increase_profile(RateProfile::new([(0, 1)]).unwrap());
+        assert_eq!(params.check(None, 19_999), Ok(Pass::FirstSample));
+    }
+
+    #[test]
+    fn no_profile_equals_static_behaviour() {
+        let params = DynamicParams::new(base());
+        for (prev, current) in [(100, 900), (900, 100), (5_000, 5_000), (0, 20_000)] {
+            assert_eq!(
+                params.check(Some(prev), current),
+                crate::assert_cont::check(&base(), Some(prev), current)
+            );
+        }
+    }
+}

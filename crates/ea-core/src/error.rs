@@ -1,0 +1,175 @@
+//! Crate-wide error type for parameter validation and plan construction.
+
+use std::fmt;
+
+use crate::Sample;
+
+/// Errors returned while constructing or validating assertion parameters
+/// and instrumentation plans.
+///
+/// Runtime assertion *violations* are not `Error`s — they are the expected
+/// product of the mechanisms and are reported as [`crate::Violation`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// `smax` must be strictly greater than `smin` (paper Table 1, row
+    /// "All").
+    EmptyRange {
+        /// The offending lower bound.
+        smin: Sample,
+        /// The offending upper bound.
+        smax: Sample,
+    },
+    /// A rate band was given with `min > max`.
+    InvertedRateBand {
+        /// Which direction the band constrains.
+        direction: RateDirection,
+        /// The offending minimum rate.
+        min: Sample,
+        /// The offending maximum rate.
+        max: Sample,
+    },
+    /// A rate was negative; paper Table 1 requires all rates to be `≥ 0`
+    /// (decrease rates are expressed as magnitudes).
+    NegativeRate {
+        /// Which direction the rate constrains.
+        direction: RateDirection,
+        /// The offending rate value.
+        rate: Sample,
+    },
+    /// The parameters do not satisfy the Table 1 constraints of any
+    /// continuous class (e.g. both rate bands identically zero, which
+    /// would freeze the signal forever).
+    Unclassifiable,
+    /// The discrete domain `D` is empty.
+    EmptyDomain,
+    /// A transition set `T(d)` refers to a value outside the domain `D`.
+    TransitionOutsideDomain {
+        /// The source value `d`.
+        from: Sample,
+        /// The offending target value.
+        to: Sample,
+    },
+    /// A transition set was supplied for a value that is not in `D`.
+    TransitionFromOutsideDomain {
+        /// The offending source value.
+        from: Sample,
+    },
+    /// A sequential discrete signal must define `T(d)` for every `d ∈ D`.
+    MissingTransitions {
+        /// The domain element with no transition set.
+        value: Sample,
+    },
+    /// A linear sequential signal needs at least two values to traverse.
+    LinearTooShort,
+    /// A moded parameter set was queried for a mode it does not define.
+    UnknownMode {
+        /// The mode that was requested.
+        mode: u16,
+    },
+    /// A probability handed to the coverage algebra was outside `[0, 1]`.
+    InvalidProbability {
+        /// Name of the offending quantity (e.g. `"Pds"`).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An instrumentation plan referenced a signal that is not in the
+    /// inventory.
+    UnknownSignal {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An instrumentation plan step was executed out of order.
+    ProcessOrder {
+        /// Description of what was attempted too early.
+        detail: &'static str,
+    },
+}
+
+/// Direction qualifier used by rate-related parameter errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RateDirection {
+    /// The increase band (`rmin_incr`, `rmax_incr`).
+    Increase,
+    /// The decrease band (`rmin_decr`, `rmax_decr`).
+    Decrease,
+}
+
+impl fmt::Display for RateDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RateDirection::Increase => f.write_str("increase"),
+            RateDirection::Decrease => f.write_str("decrease"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyRange { smin, smax } => {
+                write!(f, "smax ({smax}) must be strictly greater than smin ({smin})")
+            }
+            Error::InvertedRateBand { direction, min, max } => {
+                write!(f, "{direction} rate band has min ({min}) greater than max ({max})")
+            }
+            Error::NegativeRate { direction, rate } => {
+                write!(f, "{direction} rate must be non-negative, got {rate}")
+            }
+            Error::Unclassifiable => {
+                f.write_str("parameters match no continuous signal class of the scheme")
+            }
+            Error::EmptyDomain => f.write_str("discrete domain D is empty"),
+            Error::TransitionOutsideDomain { from, to } => {
+                write!(f, "transition {from} -> {to} targets a value outside the domain")
+            }
+            Error::TransitionFromOutsideDomain { from } => {
+                write!(f, "transition set given for {from}, which is not in the domain")
+            }
+            Error::MissingTransitions { value } => {
+                write!(f, "sequential signal defines no transition set for domain value {value}")
+            }
+            Error::LinearTooShort => {
+                f.write_str("linear sequential signal needs at least two domain values")
+            }
+            Error::UnknownMode { mode } => write!(f, "no parameter set for mode {mode}"),
+            Error::InvalidProbability { name, value } => {
+                write!(f, "probability {name} = {value} is outside [0, 1]")
+            }
+            Error::UnknownSignal { name } => {
+                write!(f, "signal `{name}` is not part of the inventory")
+            }
+            Error::ProcessOrder { detail } => {
+                write!(f, "instrumentation process step out of order: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = Error::EmptyRange { smin: 5, smax: 5 };
+        let text = err.to_string();
+        assert!(text.contains("smax"));
+        assert!(!text.ends_with('.'));
+    }
+
+    #[test]
+    fn rate_direction_display() {
+        assert_eq!(RateDirection::Increase.to_string(), "increase");
+        assert_eq!(RateDirection::Decrease.to_string(), "decrease");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

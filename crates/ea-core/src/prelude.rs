@@ -1,0 +1,22 @@
+//! Convenience re-exports of the types most applications need.
+//!
+//! ```
+//! use ea_core::prelude::*;
+//! ```
+
+pub use crate::class::{ContinuousKind, DiscreteKind, MonotonicRate, SequentialKind, SignalClass};
+pub use crate::cont::{ContinuousParams, ContinuousParamsBuilder, Wrap};
+pub use crate::coverage::CoverageModel;
+pub use crate::detector::{DetectionEvent, DetectorBank, MonitorId};
+pub use crate::disc::DiscreteParams;
+pub use crate::dynamic::{DynamicParams, RateProfile};
+pub use crate::error::Error;
+pub use crate::mode::{Mode, ModedParams, Params};
+pub use crate::monitor::SignalMonitor;
+pub use crate::process::{
+    Criticality, InstrumentationPlan, InstrumentationProcess, Placement, SignalRecord, SignalRole,
+};
+pub use crate::recovery::RecoveryStrategy;
+pub use crate::stats::{LatencyStats, Proportion, Z_95};
+pub use crate::verdict::{Pass, Violation, ViolationKind};
+pub use crate::{Millis, Sample};

@@ -1,0 +1,463 @@
+//! The eight-step instrumentation process of paper Section 2.3.
+//!
+//! > 1. Identify the input and output signals of the system.
+//! > 2. Identify the signal pathways from each input signal through the
+//! >    system and to one or more output signals.
+//! > 3. Identify internally generated signals that have a direct influence
+//! >    on intermediate and output signals.
+//! > 4. Determine which of the identified signals are the most crucial for
+//! >    flawless operation (e.g. by using FMECA).
+//! > 5. Classify each signal found in (4).
+//! > 6. Determine values for the characterising parameters.
+//! > 7. Decide on locations for the mechanisms.
+//! > 8. Incorporate the mechanisms in the system.
+//!
+//! [`InstrumentationProcess`] walks these steps and produces an
+//! [`InstrumentationPlan`], which step 8 turns into a ready
+//! [`DetectorBank`] plus a placement table (the paper's Table 4).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::detector::DetectorBank;
+use crate::error::Error;
+use crate::mode::{ModedParams, Params};
+use crate::monitor::SignalMonitor;
+use crate::recovery::RecoveryStrategy;
+
+/// How a signal relates to the system boundary (steps 1 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalRole {
+    /// Arrives from a sensor or another system.
+    Input,
+    /// Leaves towards an actuator or another system.
+    Output,
+    /// Internally generated with direct influence on other signals.
+    Internal,
+}
+
+/// One signal of the inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalRecord {
+    /// Signal name (unique within the inventory).
+    pub name: String,
+    /// Boundary role.
+    pub role: SignalRole,
+    /// Module that produces the signal.
+    pub producer: String,
+    /// Module that consumes the signal.
+    pub consumer: String,
+}
+
+/// FMECA-style criticality scores for one signal (step 4).
+///
+/// The classic Risk Priority Number uses severity × occurrence ×
+/// detection-difficulty; we keep the three factors on the customary 1–10
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Criticality {
+    /// Consequence severity of a failure caused by this signal (1–10).
+    pub severity: u8,
+    /// Likelihood of errors affecting this signal (1–10).
+    pub occurrence: u8,
+    /// Difficulty of detecting the failure without a mechanism (1–10).
+    pub detection_difficulty: u8,
+}
+
+impl Criticality {
+    /// The risk priority number `S × O × D`.
+    pub fn rpn(&self) -> u32 {
+        u32::from(self.severity) * u32::from(self.occurrence) * u32::from(self.detection_difficulty)
+    }
+}
+
+/// A completed placement decision for one monitored signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The monitored signal.
+    pub signal: SignalRecord,
+    /// Criticality that justified monitoring it.
+    pub criticality: Criticality,
+    /// The parameter family (steps 5 and 6 combined: the class is implied
+    /// by the parameters).
+    pub params: ModedParams,
+    /// The module in which the executable assertion runs (step 7).
+    pub test_location: String,
+    /// Recovery behaviour on detection.
+    pub recovery: RecoveryStrategy,
+}
+
+/// The finished plan: everything needed to incorporate the mechanisms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstrumentationPlan {
+    placements: Vec<Placement>,
+}
+
+impl InstrumentationPlan {
+    /// The placement decisions, in planning order.
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// Step 8: instantiate the detector bank from the plan.
+    ///
+    /// Monitors are created in placement order, so `MonitorId(i)`
+    /// corresponds to `placements()[i]` — in the paper's case study,
+    /// EA1–EA7 in Table 6 order.
+    pub fn build_bank(&self) -> DetectorBank {
+        let mut bank = DetectorBank::new();
+        for placement in &self.placements {
+            let monitor = SignalMonitor::new(placement.signal.name.clone(), placement.params.clone())
+                .with_recovery(placement.recovery);
+            bank.add(monitor);
+        }
+        bank
+    }
+
+    /// Renders the paper's Table 4 layout: signal, producer, consumer,
+    /// test location, class.
+    pub fn placement_table(&self) -> String {
+        let mut out = String::from("Signal | Producer | Consumer | Test location | Class\n");
+        for p in &self.placements {
+            let class = p
+                .params
+                .params_for(p.params.initial_mode())
+                .map(Params::classify)
+                .expect("initial mode always present");
+            out.push_str(&format!(
+                "{} | {} | {} | {} | {}\n",
+                p.signal.name, p.signal.producer, p.signal.consumer, p.test_location, class
+            ));
+        }
+        out
+    }
+}
+
+/// Walks the eight steps; methods enforce the step order at runtime.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentationProcess {
+    inventory: BTreeMap<String, SignalRecord>,
+    pathways: BTreeSet<(String, String)>,
+    criticality: BTreeMap<String, Criticality>,
+    selected: BTreeSet<String>,
+    placements: Vec<Placement>,
+}
+
+impl InstrumentationProcess {
+    /// An empty process (before step 1).
+    pub fn new() -> Self {
+        InstrumentationProcess::default()
+    }
+
+    /// Steps 1 and 3: register a signal of the system.
+    ///
+    /// Re-registering a name replaces the previous record.
+    pub fn register_signal(
+        &mut self,
+        name: impl Into<String>,
+        role: SignalRole,
+        producer: impl Into<String>,
+        consumer: impl Into<String>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.inventory.insert(
+            name.clone(),
+            SignalRecord {
+                name,
+                role,
+                producer: producer.into(),
+                consumer: consumer.into(),
+            },
+        );
+        self
+    }
+
+    /// Step 2: record that errors in `from` can propagate to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSignal`] if either endpoint is not registered.
+    pub fn add_pathway(&mut self, from: &str, to: &str) -> Result<&mut Self, Error> {
+        for name in [from, to] {
+            if !self.inventory.contains_key(name) {
+                return Err(Error::UnknownSignal {
+                    name: name.to_owned(),
+                });
+            }
+        }
+        self.pathways.insert((from.to_owned(), to.to_owned()));
+        Ok(self)
+    }
+
+    /// All signals transitively influenced by `name` (pathway closure).
+    pub fn influence_of(&self, name: &str) -> BTreeSet<String> {
+        let mut reached = BTreeSet::new();
+        let mut frontier = vec![name.to_owned()];
+        while let Some(current) = frontier.pop() {
+            for (from, to) in &self.pathways {
+                if *from == current && reached.insert(to.clone()) {
+                    frontier.push(to.clone());
+                }
+            }
+        }
+        reached
+    }
+
+    /// Step 4 (scoring): attach FMECA scores to a signal.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSignal`] for an unregistered name.
+    pub fn score(&mut self, name: &str, criticality: Criticality) -> Result<&mut Self, Error> {
+        if !self.inventory.contains_key(name) {
+            return Err(Error::UnknownSignal {
+                name: name.to_owned(),
+            });
+        }
+        self.criticality.insert(name.to_owned(), criticality);
+        Ok(self)
+    }
+
+    /// Step 4 (selection): mark every scored signal with
+    /// `RPN ≥ threshold` as service critical.
+    ///
+    /// Returns the selected names in descending RPN order.
+    pub fn select_critical(&mut self, threshold: u32) -> Vec<String> {
+        let mut scored: Vec<(&String, u32)> = self
+            .criticality
+            .iter()
+            .map(|(name, c)| (name, c.rpn()))
+            .filter(|(_, rpn)| *rpn >= threshold)
+            .collect();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        self.selected = scored.iter().map(|(name, _)| (*name).clone()).collect();
+        scored.into_iter().map(|(name, _)| name.clone()).collect()
+    }
+
+    /// Explicit selection variant of step 4 (e.g. when the FMECA was done
+    /// outside this tool).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownSignal`] for an unregistered name. Signals without
+    /// scores get a default maximal criticality.
+    pub fn select_by_name<I, S>(&mut self, names: I) -> Result<(), Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for name in names {
+            let name = name.into();
+            if !self.inventory.contains_key(&name) {
+                return Err(Error::UnknownSignal { name });
+            }
+            self.criticality.entry(name.clone()).or_insert(Criticality {
+                severity: 10,
+                occurrence: 10,
+                detection_difficulty: 10,
+            });
+            self.selected.insert(name);
+        }
+        Ok(())
+    }
+
+    /// Steps 5–7: classify a selected signal (the class is carried by the
+    /// parameters), fix its parameters, and decide the test location.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownSignal`] if the signal is unregistered;
+    /// * [`Error::ProcessOrder`] if the signal was never selected in
+    ///   step 4.
+    pub fn place(
+        &mut self,
+        name: &str,
+        params: ModedParams,
+        test_location: impl Into<String>,
+        recovery: RecoveryStrategy,
+    ) -> Result<&mut Self, Error> {
+        let record = self
+            .inventory
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::UnknownSignal {
+                name: name.to_owned(),
+            })?;
+        if !self.selected.contains(name) {
+            return Err(Error::ProcessOrder {
+                detail: "place() before the signal was selected in step 4",
+            });
+        }
+        let criticality = self.criticality[name];
+        self.placements.push(Placement {
+            signal: record,
+            criticality,
+            params,
+            test_location: test_location.into(),
+            recovery,
+        });
+        Ok(self)
+    }
+
+    /// Finishes the process, yielding the plan for step 8.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ProcessOrder`] if some selected signal has no placement —
+    /// the process demands that every service-critical signal be covered.
+    pub fn finish(self) -> Result<InstrumentationPlan, Error> {
+        let placed: BTreeSet<&str> = self
+            .placements
+            .iter()
+            .map(|p| p.signal.name.as_str())
+            .collect();
+        for name in &self.selected {
+            if !placed.contains(name.as_str()) {
+                return Err(Error::ProcessOrder {
+                    detail: "finish() with a selected signal still unplaced",
+                });
+            }
+        }
+        Ok(InstrumentationPlan {
+            placements: self.placements,
+        })
+    }
+
+    /// The signal inventory gathered so far.
+    pub fn inventory(&self) -> impl Iterator<Item = &SignalRecord> {
+        self.inventory.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cont::ContinuousParams;
+
+    fn speed_params() -> ModedParams {
+        ModedParams::new(
+            0,
+            ContinuousParams::builder(0, 100)
+                .increase_rate(0, 5)
+                .decrease_rate(0, 5)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn crit(s: u8, o: u8, d: u8) -> Criticality {
+        Criticality {
+            severity: s,
+            occurrence: o,
+            detection_difficulty: d,
+        }
+    }
+
+    #[test]
+    fn rpn_multiplies() {
+        assert_eq!(crit(10, 5, 2).rpn(), 100);
+    }
+
+    #[test]
+    fn full_walkthrough_produces_bank() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("sensor", SignalRole::Input, "SENSE", "CTRL")
+            .register_signal("cmd", SignalRole::Output, "CTRL", "ACT");
+        proc.add_pathway("sensor", "cmd").unwrap();
+        proc.score("sensor", crit(9, 6, 8)).unwrap();
+        proc.score("cmd", crit(10, 5, 9)).unwrap();
+        let selected = proc.select_critical(100);
+        assert_eq!(selected.len(), 2);
+        // cmd has RPN 450, sensor 432: descending order.
+        assert_eq!(selected[0], "cmd");
+        proc.place("sensor", speed_params(), "CTRL", RecoveryStrategy::HoldPrevious)
+            .unwrap();
+        proc.place("cmd", speed_params(), "ACT", RecoveryStrategy::Clamp)
+            .unwrap();
+        let plan = proc.finish().unwrap();
+        assert_eq!(plan.placements().len(), 2);
+        let bank = plan.build_bank();
+        assert_eq!(bank.len(), 2);
+        assert!(bank.find("sensor").is_some());
+        assert!(bank.find("cmd").is_some());
+    }
+
+    #[test]
+    fn pathway_requires_registered_signals() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("a", SignalRole::Input, "M", "N");
+        assert!(matches!(
+            proc.add_pathway("a", "ghost").unwrap_err(),
+            Error::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn influence_closure_is_transitive() {
+        let mut proc = InstrumentationProcess::new();
+        for name in ["a", "b", "c", "d"] {
+            proc.register_signal(name, SignalRole::Internal, "M", "M");
+        }
+        proc.add_pathway("a", "b").unwrap();
+        proc.add_pathway("b", "c").unwrap();
+        proc.add_pathway("d", "a").unwrap();
+        let influence = proc.influence_of("a");
+        assert!(influence.contains("b"));
+        assert!(influence.contains("c"));
+        assert!(!influence.contains("d"));
+        assert!(!influence.contains("a"));
+    }
+
+    #[test]
+    fn threshold_filters_selection() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("hot", SignalRole::Internal, "M", "M")
+            .register_signal("cold", SignalRole::Internal, "M", "M");
+        proc.score("hot", crit(10, 10, 10)).unwrap();
+        proc.score("cold", crit(1, 1, 1)).unwrap();
+        let selected = proc.select_critical(500);
+        assert_eq!(selected, vec!["hot".to_owned()]);
+    }
+
+    #[test]
+    fn place_requires_selection() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("a", SignalRole::Input, "M", "N");
+        let err = proc
+            .place("a", speed_params(), "N", RecoveryStrategy::None)
+            .unwrap_err();
+        assert!(matches!(err, Error::ProcessOrder { .. }));
+    }
+
+    #[test]
+    fn finish_requires_full_coverage_of_selection() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("a", SignalRole::Input, "M", "N");
+        proc.select_by_name(["a"]).unwrap();
+        let err = proc.finish().unwrap_err();
+        assert!(matches!(err, Error::ProcessOrder { .. }));
+    }
+
+    #[test]
+    fn select_by_name_validates() {
+        let mut proc = InstrumentationProcess::new();
+        assert!(matches!(
+            proc.select_by_name(["ghost"]).unwrap_err(),
+            Error::UnknownSignal { .. }
+        ));
+    }
+
+    #[test]
+    fn placement_table_mentions_class_notation() {
+        let mut proc = InstrumentationProcess::new();
+        proc.register_signal("v", SignalRole::Input, "SENSE", "CTRL");
+        proc.select_by_name(["v"]).unwrap();
+        proc.place("v", speed_params(), "CTRL", RecoveryStrategy::HoldPrevious)
+            .unwrap();
+        let plan = proc.finish().unwrap();
+        let table = plan.placement_table();
+        assert!(table.contains("Co/Ra"));
+        assert!(table.contains("SENSE"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Recovery: returning a signal to a valid state after detection.
+//!
+//! The paper (Section 2): "Should an error be detected, measures can be
+//! taken to recover from the error, and the signal can be returned to a
+//! valid state." The strategies here are deliberately simple — they are
+//! what a low-cost embedded system can afford per-signal.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mode::Params;
+use crate::verdict::{Violation, ViolationKind};
+use crate::Sample;
+
+/// How a monitor repairs a signal value after a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RecoveryStrategy {
+    /// Leave the erroneous value in place (detection only).
+    None,
+    /// Replace the value with the previous (assumed good) sample; falls
+    /// back to clamping when there is no previous sample.
+    HoldPrevious,
+    /// Clamp a continuous value into `[smin, smax]`; for discrete signals
+    /// fall back to the previous sample or any valid domain value.
+    Clamp,
+    /// Replace the value with a fixed, known-safe value.
+    Force(Sample),
+    /// Project the previous sample forward by the most plausible legal
+    /// rate: previous + `rmin_incr` for rate violations upward, previous −
+    /// `rmin_decr` downward. Approximates the "best estimate" recovery of
+    /// model-based schemes while staying parameter-only.
+    RateProject,
+}
+
+impl Default for RecoveryStrategy {
+    fn default() -> Self {
+        RecoveryStrategy::HoldPrevious
+    }
+}
+
+impl RecoveryStrategy {
+    /// Computes the replacement value for a violated sample.
+    ///
+    /// Always returns a value that the parameters accept as a *fresh*
+    /// observation (in range / in domain), so a recovered monitor can
+    /// re-seed its history from it.
+    pub fn recover(self, params: &Params, violation: &Violation) -> Sample {
+        match self {
+            RecoveryStrategy::None => violation.current(),
+            RecoveryStrategy::Force(value) => value,
+            RecoveryStrategy::HoldPrevious => match violation.previous() {
+                Some(prev) => prev,
+                None => fallback_valid(params, violation),
+            },
+            RecoveryStrategy::Clamp => fallback_valid(params, violation),
+            RecoveryStrategy::RateProject => rate_project(params, violation),
+        }
+    }
+}
+
+/// A valid value with no history: clamp for continuous, previous-or-any
+/// for discrete.
+fn fallback_valid(params: &Params, violation: &Violation) -> Sample {
+    match params {
+        Params::Continuous(p) => p.clamp(violation.current()),
+        Params::Discrete(p) => match violation.previous() {
+            Some(prev) if p.in_domain(prev) => prev,
+            _ => p.any_valid(),
+        },
+    }
+}
+
+fn rate_project(params: &Params, violation: &Violation) -> Sample {
+    let Params::Continuous(p) = params else {
+        return fallback_valid(params, violation);
+    };
+    let Some(prev) = violation.previous() else {
+        return p.clamp(violation.current());
+    };
+    let projected = match violation.kind() {
+        ViolationKind::IncreaseRate => prev + p.increase().min().max(0),
+        ViolationKind::DecreaseRate => prev - p.decrease().min().max(0),
+        ViolationKind::AboveMaximum => prev + p.increase().min(),
+        ViolationKind::BelowMinimum => prev - p.decrease().min(),
+        _ => prev,
+    };
+    p.clamp(projected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cont::ContinuousParams;
+    use crate::disc::DiscreteParams;
+
+    fn cont_params() -> Params {
+        ContinuousParams::builder(0, 100)
+            .increase_rate(2, 10)
+            .decrease_rate(3, 10)
+            .build()
+            .unwrap()
+            .into()
+    }
+
+    fn disc_params() -> Params {
+        DiscreteParams::random([5, 6, 7]).unwrap().into()
+    }
+
+    #[test]
+    fn none_keeps_the_bad_value() {
+        let v = Violation::new(ViolationKind::AboveMaximum, 5000, Some(50));
+        assert_eq!(RecoveryStrategy::None.recover(&cont_params(), &v), 5000);
+    }
+
+    #[test]
+    fn hold_previous_restores_history() {
+        let v = Violation::new(ViolationKind::AboveMaximum, 5000, Some(50));
+        assert_eq!(
+            RecoveryStrategy::HoldPrevious.recover(&cont_params(), &v),
+            50
+        );
+    }
+
+    #[test]
+    fn hold_previous_without_history_clamps() {
+        let v = Violation::new(ViolationKind::AboveMaximum, 5000, None);
+        assert_eq!(
+            RecoveryStrategy::HoldPrevious.recover(&cont_params(), &v),
+            100
+        );
+    }
+
+    #[test]
+    fn clamp_continuous() {
+        let v = Violation::new(ViolationKind::BelowMinimum, -44, Some(10));
+        assert_eq!(RecoveryStrategy::Clamp.recover(&cont_params(), &v), 0);
+    }
+
+    #[test]
+    fn clamp_discrete_prefers_previous_domain_value() {
+        let v = Violation::new(ViolationKind::OutsideDomain, 9, Some(6));
+        assert_eq!(RecoveryStrategy::Clamp.recover(&disc_params(), &v), 6);
+        let v_no_hist = Violation::new(ViolationKind::OutsideDomain, 9, None);
+        let recovered = RecoveryStrategy::Clamp.recover(&disc_params(), &v_no_hist);
+        assert!([5, 6, 7].contains(&recovered));
+    }
+
+    #[test]
+    fn force_is_unconditional() {
+        let v = Violation::new(ViolationKind::OutsideDomain, 9, Some(6));
+        assert_eq!(
+            RecoveryStrategy::Force(7).recover(&disc_params(), &v),
+            7
+        );
+    }
+
+    #[test]
+    fn rate_project_steps_by_minimum_rate() {
+        let v_up = Violation::new(ViolationKind::IncreaseRate, 90, Some(40));
+        assert_eq!(
+            RecoveryStrategy::RateProject.recover(&cont_params(), &v_up),
+            42
+        );
+        let v_down = Violation::new(ViolationKind::DecreaseRate, 2, Some(40));
+        assert_eq!(
+            RecoveryStrategy::RateProject.recover(&cont_params(), &v_down),
+            37
+        );
+    }
+
+    #[test]
+    fn rate_project_clamps_at_the_boundary() {
+        let v = Violation::new(ViolationKind::AboveMaximum, 7000, Some(100));
+        let recovered = RecoveryStrategy::RateProject.recover(&cont_params(), &v);
+        assert_eq!(recovered, 100);
+    }
+
+    #[test]
+    fn rate_project_on_discrete_falls_back() {
+        let v = Violation::new(ViolationKind::OutsideDomain, 9, Some(6));
+        assert_eq!(
+            RecoveryStrategy::RateProject.recover(&disc_params(), &v),
+            6
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Outcomes of executing an assertion: which test passed, or which
+//! constraint was violated.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Sample;
+
+/// Which Table 2 / Table 3 test admitted the sample.
+///
+/// The numbering follows the paper exactly: tests 1 and 2 are the range
+/// checks and always run; exactly one of the remaining tests must then
+/// hold, chosen by the relation between the current sample `s` and the
+/// previous sample `s'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Pass {
+    /// First observation of the signal: only the range tests (1, 2) ran.
+    FirstSample,
+    /// `s > s'` within the increase band (test 3a).
+    Increase,
+    /// `s > s'` explained as an allowed wrap-around decrease (test 4a).
+    WrapDecrease,
+    /// `s < s'` within the decrease band (test 3b).
+    Decrease,
+    /// `s < s'` explained as an allowed wrap-around increase (test 4b).
+    WrapIncrease,
+    /// `s = s'` on a monotonically decreasing signal whose minimum
+    /// decrease rate is zero (test 3c).
+    UnchangedDecreasing,
+    /// `s = s'` on a monotonically increasing signal whose minimum
+    /// increase rate is zero (test 4c).
+    UnchangedIncreasing,
+    /// `s = s'` on a random signal with a zero minimum rate in at least
+    /// one direction (test 5c).
+    UnchangedRandom,
+    /// Discrete signal: `s ∈ D` (and `s ∈ T(s')` where applicable).
+    Discrete,
+}
+
+/// The category of constraint that an erroneous sample violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ViolationKind {
+    /// Test 1 failed: `s > smax`.
+    AboveMaximum,
+    /// Test 2 failed: `s < smin`.
+    BelowMinimum,
+    /// `s > s'` but outside the increase band (and not a legal wrap).
+    IncreaseRate,
+    /// `s < s'` but outside the decrease band (and not a legal wrap).
+    DecreaseRate,
+    /// `s = s'` but the class forbids an unchanged value (e.g. a
+    /// static-rate monotonic signal must move every test).
+    IllegalUnchanged,
+    /// Discrete: `s ∉ D`.
+    OutsideDomain,
+    /// Discrete sequential: `s ∈ D` but `s ∉ T(s')`.
+    IllegalTransition,
+}
+
+impl ViolationKind {
+    /// A short stable identifier, useful in logs and CSV output.
+    pub const fn code(self) -> &'static str {
+        match self {
+            ViolationKind::AboveMaximum => "above-max",
+            ViolationKind::BelowMinimum => "below-min",
+            ViolationKind::IncreaseRate => "incr-rate",
+            ViolationKind::DecreaseRate => "decr-rate",
+            ViolationKind::IllegalUnchanged => "illegal-unchanged",
+            ViolationKind::OutsideDomain => "outside-domain",
+            ViolationKind::IllegalTransition => "illegal-transition",
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A detected error: an executable assertion found the sample outside its
+/// constraints.
+///
+/// Carries everything a recovery mechanism or an experiment log needs: the
+/// violated constraint, the offending value, and the previous (assumed
+/// good) value if one existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Violation {
+    kind: ViolationKind,
+    current: Sample,
+    previous: Option<Sample>,
+}
+
+impl Violation {
+    /// Creates a violation record.
+    pub const fn new(kind: ViolationKind, current: Sample, previous: Option<Sample>) -> Self {
+        Violation {
+            kind,
+            current,
+            previous,
+        }
+    }
+
+    /// The violated constraint category.
+    pub const fn kind(&self) -> ViolationKind {
+        self.kind
+    }
+
+    /// The sample that failed the test.
+    pub const fn current(&self) -> Sample {
+        self.current
+    }
+
+    /// The previous sample, if the signal had been observed before.
+    pub const fn previous(&self) -> Option<Sample> {
+        self.previous
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.previous {
+            Some(prev) => write!(
+                f,
+                "{} (value {}, previous {})",
+                self.kind, self.current, prev
+            ),
+            None => write!(f, "{} (value {})", self.kind, self.current),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_accessors() {
+        let v = Violation::new(ViolationKind::AboveMaximum, 70000, Some(12));
+        assert_eq!(v.kind(), ViolationKind::AboveMaximum);
+        assert_eq!(v.current(), 70000);
+        assert_eq!(v.previous(), Some(12));
+    }
+
+    #[test]
+    fn display_mentions_values() {
+        let v = Violation::new(ViolationKind::DecreaseRate, 3, Some(90));
+        let text = v.to_string();
+        assert!(text.contains("decr-rate"));
+        assert!(text.contains('3'));
+        assert!(text.contains("90"));
+
+        let first = Violation::new(ViolationKind::OutsideDomain, 9, None);
+        assert!(!first.to_string().contains("previous"));
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let kinds = [
+            ViolationKind::AboveMaximum,
+            ViolationKind::BelowMinimum,
+            ViolationKind::IncreaseRate,
+            ViolationKind::DecreaseRate,
+            ViolationKind::IllegalUnchanged,
+            ViolationKind::OutsideDomain,
+            ViolationKind::IllegalTransition,
+        ];
+        let mut codes: Vec<_> = kinds.iter().map(|k| k.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), kinds.len());
+    }
+}

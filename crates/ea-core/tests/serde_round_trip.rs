@@ -1,0 +1,124 @@
+//! Parameter sets are plain data: they serialise, travel (e.g. as a
+//! calibration file downloaded to a target), and deserialise into
+//! working assertions. These tests pin the JSON round trip for every
+//! parameter flavour.
+
+use ea_core::prelude::*;
+
+#[test]
+fn continuous_params_round_trip() {
+    let params = ContinuousParams::builder(-100, 8_000)
+        .increase_rate(2, 40)
+        .decrease_rate(0, 25)
+        .wrap_allowed()
+        .build()
+        .unwrap();
+    let json = serde_json::to_string(&params).unwrap();
+    let back: ContinuousParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+    assert_eq!(back.classify(), SignalClass::continuous_random());
+}
+
+#[test]
+fn discrete_params_round_trip() {
+    let params = DiscreteParams::non_linear([
+        (1, vec![2, 4]),
+        (2, vec![3, 4]),
+        (3, vec![4]),
+        (4, vec![5]),
+        (5, vec![1]),
+    ])
+    .unwrap()
+    .with_self_loops();
+    let json = serde_json::to_string(&params).unwrap();
+    let back: DiscreteParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+    assert!(back.transition_allowed(4, 4));
+    assert!(!back.transition_allowed(4, 1));
+}
+
+#[test]
+fn moded_params_round_trip_preserves_initial_mode() {
+    let tight = ContinuousParams::builder(0, 100)
+        .increase_rate(0, 5)
+        .decrease_rate(0, 5)
+        .build()
+        .unwrap();
+    let wide = ContinuousParams::builder(0, 10_000)
+        .increase_rate(0, 500)
+        .decrease_rate(0, 500)
+        .build()
+        .unwrap();
+    let moded = ModedParams::new(3, tight).with(9, wide);
+    let json = serde_json::to_string(&moded).unwrap();
+    let back: ModedParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, moded);
+    assert_eq!(back.initial_mode(), 3);
+    assert_eq!(back.mode_count(), 2);
+}
+
+#[test]
+fn dynamic_params_round_trip() {
+    let base = ContinuousParams::builder(0, 20_000)
+        .increase_rate(0, 1_000)
+        .decrease_rate(0, 1_000)
+        .build()
+        .unwrap();
+    let params = DynamicParams::new(base)
+        .with_increase_profile(RateProfile::new([(0, 1_000), (20_000, 50)]).unwrap());
+    let json = serde_json::to_string(&params).unwrap();
+    let back: DynamicParams = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, params);
+    assert!(back.check(Some(19_000), 19_600).is_err());
+}
+
+#[test]
+fn monitor_state_round_trip_resumes_history() {
+    let params = ContinuousParams::builder(0, 1_000)
+        .increase_rate(0, 50)
+        .decrease_rate(0, 50)
+        .build()
+        .unwrap();
+    let mut monitor = SignalMonitor::continuous("speed", params);
+    monitor.check(500).unwrap();
+    monitor.check(540).unwrap();
+    let json = serde_json::to_string(&monitor).unwrap();
+    let mut back: SignalMonitor = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.previous(), Some(540));
+    assert_eq!(back.checks(), 2);
+    // The restored monitor continues exactly where the original stopped.
+    assert!(back.check(560).is_ok());
+    assert!(back.check(900).is_err());
+}
+
+#[test]
+fn instrumentation_plan_round_trip() {
+    let plan = {
+        let mut process = InstrumentationProcess::new();
+        process.register_signal("v", SignalRole::Input, "S", "C");
+        process.select_by_name(["v"]).unwrap();
+        let params = ContinuousParams::builder(0, 10)
+            .increase_rate(0, 2)
+            .decrease_rate(0, 2)
+            .build()
+            .unwrap();
+        process
+            .place("v", ModedParams::new(0, params), "C", RecoveryStrategy::Clamp)
+            .unwrap();
+        process.finish().unwrap()
+    };
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: InstrumentationPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+    let bank = back.build_bank();
+    assert_eq!(bank.len(), 1);
+}
+
+#[test]
+fn signal_class_serialises_stably() {
+    for class in SignalClass::ALL {
+        let json = serde_json::to_string(&class).unwrap();
+        let back: SignalClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, class);
+    }
+}

@@ -1,0 +1,99 @@
+//! Runs the complete evaluation of the paper: golden-run validation,
+//! the E1 campaign (Tables 7 and 8) and the E2 campaign (Table 9),
+//! saving JSON artefacts and the rendered tables under `results/`.
+//!
+//! Full protocol: 2 800 + 5 000 runs of 40 s each — minutes of wall
+//! clock on a multicore machine. `--scale 2 --observation 5000` gives a
+//! smoke-test variant.
+
+use std::time::Instant;
+
+use fic::cli::CliOptions;
+use fic::{error_set, golden, tables, CampaignRunner};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let protocol = options.protocol();
+    std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+
+    eprintln!(
+        "protocol: {} cases/error, {} ms window, {} ms injection period, {} workers",
+        protocol.cases_per_error(),
+        protocol.observation_ms,
+        protocol.injection_period_ms,
+        protocol.effective_workers()
+    );
+
+    let t0 = Instant::now();
+    eprintln!("[1/3] golden-run validation...");
+    golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+    eprintln!("      ok ({:.1?})", t0.elapsed());
+
+    let runner = CampaignRunner::new(protocol.clone());
+
+    let t1 = Instant::now();
+    let e1_errors = error_set::e1();
+    eprintln!(
+        "[2/3] E1: {} errors x {} cases...",
+        e1_errors.len(),
+        protocol.cases_per_error()
+    );
+    let e1_report = runner.run_e1(&e1_errors);
+    eprintln!("      done ({:.1?})", t1.elapsed());
+
+    let t2 = Instant::now();
+    let e2_errors = error_set::e2();
+    eprintln!(
+        "[3/3] E2: {} errors x {} cases...",
+        e2_errors.len(),
+        protocol.cases_per_error()
+    );
+    let e2_report = runner.run_e2(&e2_errors);
+    eprintln!("      done ({:.1?})", t2.elapsed());
+
+    // Artefacts.
+    std::fs::write(
+        options.out_dir.join("e1.json"),
+        serde_json::to_string_pretty(&e1_report).unwrap(),
+    )
+    .expect("write e1.json");
+    std::fs::write(
+        options.out_dir.join("e2.json"),
+        serde_json::to_string_pretty(&e2_report).unwrap(),
+    )
+    .expect("write e2.json");
+
+    let table6 = tables::render_table6(&e1_errors, protocol.cases_per_error());
+    let table7 = tables::render_table7(&e1_report);
+    let table8 = tables::render_table8(&e1_report);
+    let table9 = tables::render_table9(&e2_report);
+    for (name, text) in [
+        ("table6.txt", &table6),
+        ("table7.txt", &table7),
+        ("table8.txt", &table8),
+        ("table9.txt", &table9),
+    ] {
+        std::fs::write(options.out_dir.join(name), text).expect("write table");
+    }
+
+    println!("{table6}");
+    println!("{table7}");
+    println!("{table8}");
+    println!("{table9}");
+    if let Some(p_ds) = e1_report.p_ds() {
+        println!("Pds (E1 total, all mechanisms)    = {:.1}%", p_ds * 100.0);
+    }
+    if let Some(p) = e2_report.p_detect() {
+        println!("Pdetect (E2 total)                = {:.1}%", p * 100.0);
+    }
+    if let Some(analysis) = fic::coverage_report::analyse(&e1_report, &e2_report) {
+        println!();
+        print!("{}", fic::coverage_report::render(&analysis));
+        std::fs::write(
+            options.out_dir.join("coverage_analysis.json"),
+            serde_json::to_string_pretty(&analysis).unwrap(),
+        )
+        .expect("write coverage_analysis.json");
+    }
+    eprintln!("artefacts written to {}", options.out_dir.display());
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Table 6: the distribution of errors in error set E1.
+
+use fic::cli::CliOptions;
+use fic::{error_set, tables};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let protocol = options.protocol();
+    let errors = error_set::e1();
+    print!(
+        "{}",
+        tables::render_table6(&errors, protocol.cases_per_error())
+    );
+}

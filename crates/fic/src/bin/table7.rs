@@ -1,0 +1,43 @@
+//! Regenerates paper Table 7: detection probabilities per signal and
+//! software version, from the E1 campaign.
+//!
+//! Full paper protocol by default (2 800 runs × 40 s windows); use
+//! `--scale 2 --observation 5000` for a quick smoke run, or
+//! `--load results/e1.json` to re-render a saved campaign.
+
+use fic::cli::CliOptions;
+use fic::{error_set, golden, tables, CampaignRunner, E1Report};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let report: E1Report = if let Some(path) = &options.load {
+        let data = std::fs::read_to_string(path).expect("readable --load file");
+        serde_json::from_str(&data).expect("valid saved E1 report")
+    } else {
+        let protocol = options.protocol();
+        eprintln!(
+            "golden-run validation over {} cases...",
+            protocol.cases_per_error()
+        );
+        golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+        let errors = error_set::e1();
+        eprintln!(
+            "running E1: {} errors x {} cases ({} runs, {} ms windows)...",
+            errors.len(),
+            protocol.cases_per_error(),
+            errors.len() * protocol.cases_per_error(),
+            protocol.observation_ms
+        );
+        let report = CampaignRunner::new(protocol).run_e1(&errors);
+        std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+        let path = options.out_dir.join("e1.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())
+            .expect("write e1.json");
+        eprintln!("saved {}", path.display());
+        report
+    };
+    print!("{}", tables::render_table7(&report));
+    if let Some(p_ds) = report.p_ds() {
+        println!("\nPds (total, all mechanisms) = {:.1}%", p_ds * 100.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Regenerates paper Table 8: detection latencies per signal and
+//! software version, from the E1 campaign.
+//!
+//! Prefers `--load results/e1.json` (written by `table7` or
+//! `full_campaign`) so the campaign runs once for both tables.
+
+use fic::cli::CliOptions;
+use fic::{error_set, golden, tables, CampaignRunner, E1Report};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let report: E1Report = if let Some(path) = &options.load {
+        let data = std::fs::read_to_string(path).expect("readable --load file");
+        serde_json::from_str(&data).expect("valid saved E1 report")
+    } else {
+        let protocol = options.protocol();
+        golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+        let errors = error_set::e1();
+        eprintln!(
+            "running E1: {} errors x {} cases...",
+            errors.len(),
+            protocol.cases_per_error()
+        );
+        let report = CampaignRunner::new(protocol).run_e1(&errors);
+        std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+        std::fs::write(
+            options.out_dir.join("e1.json"),
+            serde_json::to_string_pretty(&report).unwrap(),
+        )
+        .expect("write e1.json");
+        report
+    };
+    print!("{}", tables::render_table8(&report));
+}

@@ -1,0 +1,35 @@
+//! Regenerates paper Table 9: total detection coverage and latencies
+//! for error set E2 (random RAM/stack bit flips).
+
+use fic::cli::CliOptions;
+use fic::{error_set, golden, tables, CampaignRunner, E2Report};
+
+fn main() {
+    let options = CliOptions::from_env();
+    let report: E2Report = if let Some(path) = &options.load {
+        let data = std::fs::read_to_string(path).expect("readable --load file");
+        serde_json::from_str(&data).expect("valid saved E2 report")
+    } else {
+        let protocol = options.protocol();
+        golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+        let errors = error_set::e2();
+        eprintln!(
+            "running E2: {} errors x {} cases ({} runs, {} ms windows)...",
+            errors.len(),
+            protocol.cases_per_error(),
+            errors.len() * protocol.cases_per_error(),
+            protocol.observation_ms
+        );
+        let report = CampaignRunner::new(protocol).run_e2(&errors);
+        std::fs::create_dir_all(&options.out_dir).expect("create out dir");
+        let path = options.out_dir.join("e2.json");
+        std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())
+            .expect("write e2.json");
+        eprintln!("saved {}", path.display());
+        report
+    };
+    print!("{}", tables::render_table9(&report));
+    if let Some(p) = report.p_detect() {
+        println!("\nPdetect (total) = {:.1}%", p * 100.0);
+    }
+}

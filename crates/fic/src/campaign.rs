@@ -1,0 +1,172 @@
+//! Parallel campaign execution: fan out ⟨error, test case⟩ pairs over
+//! worker threads, merge partial reports.
+
+use crossbeam::channel;
+use simenv::TestCase;
+
+use crate::error_set::{E1Error, E2Error};
+use crate::experiment::run_trial;
+use crate::protocol::Protocol;
+use crate::results::{E1Report, E2Report};
+
+/// Executes error-injection campaigns under a protocol.
+#[derive(Debug, Clone)]
+pub struct CampaignRunner {
+    protocol: Protocol,
+}
+
+impl CampaignRunner {
+    /// A runner for the given protocol.
+    pub fn new(protocol: Protocol) -> Self {
+        CampaignRunner { protocol }
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> &Protocol {
+        &self.protocol
+    }
+
+    /// Runs the E1 campaign over the given errors (the full paper set is
+    /// [`crate::error_set::e1`]); one run per ⟨error, case⟩ pair, all
+    /// eight versions derived from the per-mechanism log.
+    pub fn run_e1(&self, errors: &[E1Error]) -> E1Report {
+        self.fan_out(
+            errors,
+            E1Report::new,
+            |report, error, trial| report.record(error, trial),
+            E1Report::merge,
+        )
+    }
+
+    /// Runs the E2 campaign (the paper set is [`crate::error_set::e2`])
+    /// on the all-mechanisms version.
+    pub fn run_e2(&self, errors: &[E2Error]) -> E2Report {
+        self.fan_out(
+            errors,
+            E2Report::new,
+            |report, error, trial| report.record(error, trial),
+            E2Report::merge,
+        )
+    }
+
+    /// Generic worker fan-out: each worker runs whole errors (all grid
+    /// cases) to keep the work units coarse, accumulates into a local
+    /// report, and the locals are merged at the end.
+    fn fan_out<E, R>(
+        &self,
+        errors: &[E],
+        make: fn() -> R,
+        record: fn(&mut R, &E, &crate::experiment::Trial),
+        merge: fn(&mut R, &R),
+    ) -> R
+    where
+        E: Sync + HasFlip,
+        R: Send,
+    {
+        let cases: Vec<TestCase> = self.protocol.grid.cases();
+        let workers = self.protocol.effective_workers().max(1);
+        let (tx, rx) = channel::unbounded::<usize>();
+        for idx in 0..errors.len() {
+            tx.send(idx).expect("queue is open");
+        }
+        drop(tx);
+
+        let partials: Vec<R> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let rx = rx.clone();
+                let cases = &cases;
+                let protocol = &self.protocol;
+                handles.push(scope.spawn(move || {
+                    let mut local = make();
+                    while let Ok(idx) = rx.recv() {
+                        let error = &errors[idx];
+                        for case in cases {
+                            let trial = run_trial(protocol, error.flip(), *case);
+                            record(&mut local, error, &trial);
+                        }
+                    }
+                    local
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+
+        let mut report = make();
+        for partial in &partials {
+            merge(&mut report, partial);
+        }
+        report
+    }
+}
+
+/// Internal: both error kinds expose their flip coordinates.
+pub trait HasFlip {
+    /// The SWIFI coordinates of this error.
+    fn flip(&self) -> memsim::BitFlip;
+}
+
+impl HasFlip for E1Error {
+    fn flip(&self) -> memsim::BitFlip {
+        self.flip
+    }
+}
+
+impl HasFlip for E2Error {
+    fn flip(&self) -> memsim::BitFlip {
+        self.flip
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_set;
+    use arrestor::EaId;
+
+    #[test]
+    fn small_e1_campaign_counts_trials() {
+        let protocol = Protocol::scaled(2, 1_500);
+        let runner = CampaignRunner::new(protocol);
+        let errors = error_set::e1();
+        // mscnt errors: S81..S96 — use four of them.
+        let subset = &errors[80..84];
+        let report = runner.run_e1(subset);
+        assert_eq!(report.trials(), 4 * 4);
+        // Every mscnt error is caught by EA6 within a short window.
+        let row = &report.rows[EaId::Ea6.index()];
+        assert_eq!(row.cells[EaId::Ea6.index()].all.detected(), 16);
+    }
+
+    #[test]
+    fn e1_report_is_deterministic_across_worker_counts() {
+        let errors = error_set::e1();
+        let subset = &errors[0..2];
+        let mut p1 = Protocol::scaled(1, 1_000);
+        p1.workers = 1;
+        let mut p4 = Protocol::scaled(1, 1_000);
+        p4.workers = 4;
+        let r1 = CampaignRunner::new(p1).run_e1(subset);
+        let r4 = CampaignRunner::new(p4).run_e1(subset);
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn small_e2_campaign_routes_regions() {
+        let protocol = Protocol::scaled(1, 1_000);
+        let runner = CampaignRunner::new(protocol);
+        let errors = error_set::e2();
+        let subset: Vec<_> = errors
+            .iter()
+            .filter(|e| e.number <= 2 || e.number > 198)
+            .copied()
+            .collect();
+        let report = runner.run_e2(&subset);
+        assert_eq!(report.trials(), 4);
+        assert_eq!(report.ram.all.total(), 2);
+        assert_eq!(report.stack.all.total(), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Minimal shared argument parsing for the table/figure binaries.
+//!
+//! Flags understood by every binary:
+//!
+//! * `--scale <n>` — use an `n × n` test-case grid instead of the
+//!   paper's 5 × 5;
+//! * `--observation <ms>` — shorten the 40 s observation window;
+//! * `--workers <n>` — worker threads (default: all cores);
+//! * `--out <dir>` — artefact directory (default `results/`);
+//! * `--load <file>` — render from a previously saved JSON report
+//!   instead of re-running the campaign.
+
+use std::path::PathBuf;
+
+use crate::protocol::Protocol;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Grid scale override (`n × n`).
+    pub scale: Option<usize>,
+    /// Observation-window override, ms.
+    pub observation_ms: Option<u64>,
+    /// Worker-thread override.
+    pub workers: Option<usize>,
+    /// Artefact output directory.
+    pub out_dir: PathBuf,
+    /// Load a saved report instead of running.
+    pub load: Option<PathBuf>,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            scale: None,
+            observation_ms: None,
+            workers: None,
+            out_dir: PathBuf::from("results"),
+            load: None,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses `std::env::args`; exits with a usage message on bad input.
+    pub fn from_env() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match Self::parse(&args) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                eprintln!(
+                    "usage: [--scale n] [--observation ms] [--workers n] [--out dir] [--load file]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending flag or value.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut options = CliOptions::default();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    options.scale = Some(
+                        value("--scale")?
+                            .parse()
+                            .map_err(|e| format!("--scale: {e}"))?,
+                    );
+                }
+                "--observation" => {
+                    options.observation_ms = Some(
+                        value("--observation")?
+                            .parse()
+                            .map_err(|e| format!("--observation: {e}"))?,
+                    );
+                }
+                "--workers" => {
+                    options.workers = Some(
+                        value("--workers")?
+                            .parse()
+                            .map_err(|e| format!("--workers: {e}"))?,
+                    );
+                }
+                "--out" => options.out_dir = PathBuf::from(value("--out")?),
+                "--load" => options.load = Some(PathBuf::from(value("--load")?)),
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(options)
+    }
+
+    /// Builds the protocol these options describe.
+    pub fn protocol(&self) -> Protocol {
+        let mut protocol = match self.scale {
+            Some(n) => Protocol::scaled(n, simenv::spec::OBSERVATION_MS),
+            None => Protocol::paper(),
+        };
+        if let Some(ms) = self.observation_ms {
+            protocol.observation_ms = ms;
+        }
+        if let Some(w) = self.workers {
+            protocol.workers = w;
+        }
+        protocol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_to_paper_protocol() {
+        let options = CliOptions::parse(&[]).unwrap();
+        let protocol = options.protocol();
+        assert_eq!(protocol.cases_per_error(), 25);
+        assert_eq!(protocol.observation_ms, 40_000);
+        assert_eq!(options.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn parses_overrides() {
+        let options = CliOptions::parse(&args(&[
+            "--scale",
+            "2",
+            "--observation",
+            "5000",
+            "--workers",
+            "3",
+            "--out",
+            "/tmp/x",
+        ]))
+        .unwrap();
+        let protocol = options.protocol();
+        assert_eq!(protocol.cases_per_error(), 4);
+        assert_eq!(protocol.observation_ms, 5_000);
+        assert_eq!(protocol.workers, 3);
+        assert_eq!(options.out_dir, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(CliOptions::parse(&args(&["--bogus"])).is_err());
+        assert!(CliOptions::parse(&args(&["--scale"])).is_err());
+        assert!(CliOptions::parse(&args(&["--scale", "two"])).is_err());
+    }
+}

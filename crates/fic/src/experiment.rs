@@ -1,0 +1,161 @@
+//! One experiment run: an error, a test case, an observation window.
+
+use arrestor::{RunConfig, System};
+use memsim::BitFlip;
+use serde::{Deserialize, Serialize};
+use simenv::TestCase;
+
+use crate::protocol::Protocol;
+
+/// The outcome of one ⟨error, test case⟩ run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trial {
+    /// Whether the arrestment violated a constraint (system failure).
+    pub failed: bool,
+    /// First detection timestamp of each mechanism EA1..EA7, ms.
+    pub per_ea_first_ms: [Option<u64>; 7],
+    /// Timestamp of the first injection, ms.
+    pub first_injection_ms: u64,
+    /// Final distance travelled, m (diagnostics).
+    pub final_distance_m: f64,
+}
+
+impl Trial {
+    /// First detection by *any* of the mechanisms in the given version.
+    pub fn first_detection(&self, version: arrestor::EaSet) -> Option<u64> {
+        version
+            .iter()
+            .filter_map(|ea| self.per_ea_first_ms[ea.index()])
+            .min()
+    }
+
+    /// Whether the given version detected the error at least once.
+    pub fn detected(&self, version: arrestor::EaSet) -> bool {
+        self.first_detection(version).is_some()
+    }
+
+    /// Detection latency for a version: first injection → first
+    /// detection (the paper's Table 8/9 metric).
+    pub fn latency_ms(&self, version: arrestor::EaSet) -> Option<u64> {
+        self.first_detection(version)
+            .map(|t| t.saturating_sub(self.first_injection_ms))
+    }
+}
+
+/// Runs one trial: the error is injected every
+/// [`Protocol::injection_period_ms`] for the entire observation window
+/// (injections may race the assertions, as in the paper), all mechanisms
+/// log detections, and the run is classified for failure at the end.
+pub fn run_trial(protocol: &Protocol, flip: BitFlip, case: TestCase) -> Trial {
+    let config = RunConfig {
+        observation_ms: protocol.observation_ms,
+        ..RunConfig::default()
+    };
+    let mut system = System::new(case, config);
+    let period = protocol.injection_period_ms.max(1);
+    let first_injection_ms = period;
+
+    while system.time_ms() < protocol.observation_ms {
+        let t = system.time_ms();
+        if t > 0 && t % period == 0 {
+            system.inject(flip);
+        }
+        system.tick();
+    }
+
+    let outcome = system.finish();
+    let mut per_ea_first_ms: [Option<u64>; 7] = [None; 7];
+    for event in &outcome.detections {
+        let idx = event.monitor.0;
+        if idx < 7 && per_ea_first_ms[idx].is_none() {
+            per_ea_first_ms[idx] = Some(event.at);
+        }
+    }
+    Trial {
+        failed: outcome.verdict.failed(),
+        per_ea_first_ms,
+        first_injection_ms,
+        final_distance_m: outcome.verdict.final_distance_m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use arrestor::{EaId, EaSet, MasterNode};
+    use memsim::Region;
+
+    fn short_protocol() -> Protocol {
+        Protocol::scaled(1, 6_000)
+    }
+
+    fn signal_addr(name: &str) -> usize {
+        let node = MasterNode::new(120, EaSet::ALL);
+        node.signals()
+            .monitored()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, a)| *a)
+            .expect("monitored signal")
+    }
+
+    #[test]
+    fn mscnt_msb_error_detected_quickly_by_ea6() {
+        let flip = BitFlip::new(Region::AppRam, signal_addr("mscnt") + 1, 7);
+        let trial = run_trial(&short_protocol(), flip, TestCase::new(12_000.0, 55.0));
+        let ea6 = trial.per_ea_first_ms[EaId::Ea6.index()];
+        assert!(ea6.is_some(), "EA6 should fire");
+        // Detected within a few ms of the first injection at t = 20.
+        assert!(ea6.unwrap() <= 25, "latency too long: {ea6:?}");
+        assert_eq!(trial.latency_ms(EaSet::only(EaId::Ea6)), Some(ea6.unwrap() - 20));
+    }
+
+    #[test]
+    fn version_filtering_works() {
+        let flip = BitFlip::new(Region::AppRam, signal_addr("mscnt") + 1, 7);
+        let trial = run_trial(&short_protocol(), flip, TestCase::new(12_000.0, 55.0));
+        assert!(trial.detected(EaSet::ALL));
+        assert!(trial.detected(EaSet::only(EaId::Ea6)));
+        // A mechanism that has nothing to do with mscnt stays silent.
+        assert!(!trial.detected(EaSet::only(EaId::Ea5)));
+        assert!(!trial.detected(EaSet::NONE));
+    }
+
+    #[test]
+    fn set_value_msb_error_fails_and_is_detected() {
+        // +32768 pu on the set point: massive overpressure.
+        let flip = BitFlip::new(Region::AppRam, signal_addr("SetValue") + 1, 7);
+        let trial = run_trial(
+            &Protocol::scaled(1, 15_000),
+            flip,
+            TestCase::new(8_000.0, 40.0),
+        );
+        assert!(trial.detected(EaSet::only(EaId::Ea1)), "EA1 silent");
+        assert!(trial.failed, "light aircraft must fail under full pressure");
+    }
+
+    #[test]
+    fn low_bit_out_value_error_neither_fails_nor_detects() {
+        let flip = BitFlip::new(Region::AppRam, signal_addr("OutValue"), 1);
+        let trial = run_trial(&short_protocol(), flip, TestCase::new(12_000.0, 55.0));
+        assert!(!trial.detected(EaSet::ALL));
+    }
+
+    #[test]
+    fn dead_stack_error_is_inert() {
+        let flip = BitFlip::new(Region::Stack, 10, 3);
+        let trial = run_trial(&Protocol::scaled(1, 25_000), flip, TestCase::new(12_000.0, 55.0));
+        assert!(!trial.detected(EaSet::ALL));
+        assert!(!trial.failed);
+    }
+
+    #[test]
+    fn kernel_stack_error_hangs_and_fails_undetected() {
+        // Top of the stack: the ISR context. The node hangs, the valves
+        // freeze, the aircraft overruns — and no assertion ever runs.
+        let flip = BitFlip::new(Region::Stack, memsim::STACK_BYTES - 4, 0);
+        let trial = run_trial(&Protocol::scaled(1, 25_000), flip, TestCase::new(12_000.0, 55.0));
+        assert!(trial.failed, "hung node must overrun");
+        assert!(!trial.detected(EaSet::ALL));
+    }
+}

@@ -1,0 +1,236 @@
+//! Generators for the paper's figures.
+//!
+//! * Figure 1 — the classification scheme (ASCII rendering);
+//! * Figure 2 — example series for the three continuous signal shapes,
+//!   with a self-check that each series satisfies exactly its own class;
+//! * Figure 3 — the five-state non-linear sequential example;
+//! * Figure 5/6 — the software architecture and assertion locations
+//!   (rendered from the live instrumentation plan, not hard-coded).
+
+use ea_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Figure 1 as an ASCII tree.
+pub fn fig1_taxonomy() -> String {
+    let mut out = String::from("Figure 1. Signal classification scheme.\n");
+    out.push_str(
+        "Signals\n\
+         ├── Continuous\n\
+         │   ├── Monotonic\n\
+         │   │   ├── Static   (Co/Mo/St)\n\
+         │   │   └── Dynamic  (Co/Mo/Dy)\n\
+         │   └── Random       (Co/Ra)\n\
+         └── Discrete\n\
+             ├── Sequential\n\
+             │   ├── Linear     (Di/Se/Li)\n\
+             │   └── Non-linear (Di/Se/Nl)\n\
+             └── Random         (Di/Ra)\n",
+    );
+    out
+}
+
+/// One Figure 2 series with the parameters that admit it.
+#[derive(Debug, Clone)]
+pub struct Fig2Series {
+    /// Sub-figure label: `(a)`, `(b)` or `(c)`.
+    pub label: &'static str,
+    /// The signal class the series illustrates.
+    pub class: SignalClass,
+    /// The generated samples.
+    pub samples: Vec<Sample>,
+    /// Parameters under which the series is violation-free.
+    pub params: ContinuousParams,
+}
+
+impl Fig2Series {
+    /// Renders the series as `t,value` CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,value\n");
+        for (t, v) in self.samples.iter().enumerate() {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+
+    /// Number of violations the series produces under `params`.
+    pub fn violations_under(&self, params: &ContinuousParams) -> usize {
+        let mut previous = None;
+        let mut violations = 0;
+        for &s in &self.samples {
+            if ea_core::assert_cont::check(params, previous, s).is_err() {
+                violations += 1;
+            }
+            previous = Some(s);
+        }
+        violations
+    }
+}
+
+/// Generates the three Figure 2 series: (a) random, (b) static monotonic
+/// with wrap-around, (c) dynamic monotonic.
+pub fn fig2_series(seed: u64, len: usize) -> [Fig2Series; 3] {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // (a) Random continuous: bounded walk in [0, 1000], step ≤ 40.
+    let params_a = ContinuousParams::builder(0, 1_000)
+        .increase_rate(0, 40)
+        .decrease_rate(0, 40)
+        .build()
+        .expect("valid random parameters");
+    let mut value: Sample = 500;
+    let samples_a: Vec<Sample> = (0..len)
+        .map(|_| {
+            let step = rng.gen_range(-40i64..=40);
+            value = (value + step).clamp(0, 1_000);
+            value
+        })
+        .collect();
+
+    // (b) Static monotonic with wrap-around: sawtooth of slope 25 over a
+    // circular range [0, 500] (smax identified with smin).
+    let params_b = ContinuousParams::builder(0, 500)
+        .increase_rate(25, 25)
+        .wrap_allowed()
+        .build()
+        .expect("valid static parameters");
+    let samples_b: Vec<Sample> = (0..len).map(|t| (25 * t as i64) % 500).collect();
+
+    // (c) Dynamic monotonic: decreasing with a rate in [0, 30].
+    let params_c = ContinuousParams::builder(0, 2_000)
+        .decrease_rate(0, 30)
+        .build()
+        .expect("valid dynamic parameters");
+    let mut level: Sample = 2_000;
+    let samples_c: Vec<Sample> = (0..len)
+        .map(|_| {
+            level = (level - rng.gen_range(0i64..=30)).max(0);
+            level
+        })
+        .collect();
+
+    [
+        Fig2Series {
+            label: "(a)",
+            class: SignalClass::continuous_random(),
+            samples: samples_a,
+            params: params_a,
+        },
+        Fig2Series {
+            label: "(b)",
+            class: SignalClass::continuous_static_monotonic(),
+            samples: samples_b,
+            params: params_b,
+        },
+        Fig2Series {
+            label: "(c)",
+            class: SignalClass::continuous_dynamic_monotonic(),
+            samples: samples_c,
+            params: params_c,
+        },
+    ]
+}
+
+/// The Figure 3 example: five states, transitions
+/// `T(v1) = {v2, v4}`, `T(v2) = {v3, v4}`, `T(v3) = {v4}`,
+/// `T(v4) = {v5}`, `T(v5) = {v1}`.
+pub fn fig3_state_machine() -> DiscreteParams {
+    DiscreteParams::non_linear([
+        (1, vec![2, 4]),
+        (2, vec![3, 4]),
+        (3, vec![4]),
+        (4, vec![5]),
+        (5, vec![1]),
+    ])
+    .expect("the paper's example is a valid graph")
+}
+
+/// Figure 5/6: the software architecture with assertion locations,
+/// rendered from the live instrumentation plan (Table 4 content).
+pub fn fig5_architecture() -> String {
+    let plan = arrestor::placement_plan().expect("static plan");
+    let mut out = String::from(
+        "Figure 5/6. Software architecture and assertion locations.\n\
+         \n\
+         ms_slot_nbr[T]   mscnt[T]\n\
+              CLOCK ──────────┬──────────► CALC ◄── i[T]\n\
+         Rotation sensor ► DIST_S ── pulscnt[T] ──┘ │\n\
+         Pressure sensor ► PRES_S ── IsValue[T] ─► V_REG ◄─ SetValue[T]\n\
+         V_REG ── OutValue[T] ─► PRES_A ► Pressure valve\n\
+         \n\
+         [T] = executable assertion (Table 4):\n\n",
+    );
+    out.push_str(&plan.placement_table());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_mentions_all_six_leaves() {
+        let text = fig1_taxonomy();
+        for class in SignalClass::ALL {
+            assert!(text.contains(&class.to_string()), "missing {class}");
+        }
+    }
+
+    #[test]
+    fn fig2_series_pass_their_own_class() {
+        for series in fig2_series(7, 200) {
+            assert_eq!(series.params.classify(), series.class);
+            assert_eq!(
+                series.violations_under(&series.params),
+                0,
+                "series {} violates its own parameters",
+                series.label
+            );
+        }
+    }
+
+    #[test]
+    fn fig2_series_fail_foreign_classes() {
+        let [random, static_mono, dynamic_mono] = fig2_series(7, 200);
+        // The random walk decreases somewhere: the monotonic params
+        // reject it.
+        assert!(random.violations_under(&static_mono.params) > 0);
+        assert!(random.violations_under(&dynamic_mono.params) > 0);
+        // The sawtooth increases: the decreasing params reject it.
+        assert!(static_mono.violations_under(&dynamic_mono.params) > 0);
+        // The decreasing series violates the fixed-slope sawtooth params.
+        assert!(dynamic_mono.violations_under(&static_mono.params) > 0);
+    }
+
+    #[test]
+    fn fig2_is_seed_deterministic() {
+        let a = fig2_series(42, 50);
+        let b = fig2_series(42, 50);
+        assert_eq!(a[0].samples, b[0].samples);
+        assert_eq!(a[2].samples, b[2].samples);
+    }
+
+    #[test]
+    fn fig2_csv_shape() {
+        let [random, ..] = fig2_series(1, 10);
+        let csv = random.to_csv();
+        assert_eq!(csv.lines().count(), 11);
+        assert!(csv.starts_with("t,value\n"));
+    }
+
+    #[test]
+    fn fig3_matches_paper_transitions() {
+        let params = fig3_state_machine();
+        assert!(params.transition_allowed(5, 1));
+        assert!(!params.transition_allowed(4, 1));
+        assert_eq!(params.domain().len(), 5);
+    }
+
+    #[test]
+    fn fig5_contains_table4() {
+        let text = fig5_architecture();
+        assert!(text.contains("V_REG"));
+        assert!(text.contains("Co/Mo/St"));
+        assert!(text.contains("pulscnt"));
+    }
+}

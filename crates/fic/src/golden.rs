@@ -1,0 +1,73 @@
+//! Golden-run validation: the paper requires that every test case,
+//! executed without injections, triggers **no** detection and **no**
+//! failure ("All test cases are such that if they are run on the target
+//! system without error injection, none of the error detection
+//! mechanisms report detection", Section 3.4).
+
+use std::fmt;
+
+use arrestor::{RunConfig, System};
+use simenv::TestCase;
+
+use crate::protocol::Protocol;
+
+/// A violation of the golden-run requirement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenViolation {
+    /// The offending test case.
+    pub case: TestCase,
+    /// Whether a detection was (wrongly) raised.
+    pub spurious_detection: bool,
+    /// Whether the arrestment (wrongly) failed.
+    pub failed: bool,
+}
+
+impl fmt::Display for GoldenViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "golden run violated at m = {} kg, v = {} m/s (spurious detection: {}, failure: {})",
+            self.case.mass_kg, self.case.velocity_ms, self.spurious_detection, self.failed
+        )
+    }
+}
+
+impl std::error::Error for GoldenViolation {}
+
+/// Runs every grid case without injections; errors on the first case
+/// that detects or fails.
+///
+/// # Errors
+///
+/// The first [`GoldenViolation`] encountered, if any.
+pub fn validate_fault_free(protocol: &Protocol) -> Result<(), GoldenViolation> {
+    for case in protocol.grid.cases() {
+        let config = RunConfig {
+            observation_ms: protocol.observation_ms,
+            ..RunConfig::default()
+        };
+        let outcome = System::new(case, config).run_to_completion();
+        let spurious_detection = !outcome.detections.is_empty();
+        let failed = outcome.verdict.failed();
+        if spurious_detection || failed {
+            return Err(GoldenViolation {
+                case,
+                spurious_detection,
+                failed,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_grid_is_golden() {
+        // A 3 × 3 grid including all envelope corners, full window.
+        let protocol = Protocol::scaled(3, 40_000);
+        validate_fault_free(&protocol).expect("fault-free runs must be silent and safe");
+    }
+}

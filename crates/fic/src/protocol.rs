@@ -1,0 +1,92 @@
+//! Experimental protocol constants (paper Section 3.4).
+
+use serde::{Deserialize, Serialize};
+use simenv::TestCaseGrid;
+
+/// The campaign protocol: injection timing, observation window and
+/// test-case envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Protocol {
+    /// Time between repeated injections of the same error, ms.
+    pub injection_period_ms: u64,
+    /// Observation window of one run, ms.
+    pub observation_ms: u64,
+    /// The mass/velocity grid of test cases run per error.
+    pub grid: TestCaseGrid,
+    /// Worker threads for campaign fan-out (0 = all available cores).
+    pub workers: usize,
+}
+
+impl Protocol {
+    /// The paper's protocol: 20 ms injection period, 40 s window, 25
+    /// test cases per error.
+    pub fn paper() -> Self {
+        Protocol {
+            injection_period_ms: simenv::spec::INJECTION_PERIOD_MS,
+            observation_ms: simenv::spec::OBSERVATION_MS,
+            grid: TestCaseGrid::paper(),
+            workers: 0,
+        }
+    }
+
+    /// A scaled-down protocol for tests and smoke runs: `n × n` test
+    /// cases and a shorter window.
+    pub fn scaled(n: usize, observation_ms: u64) -> Self {
+        Protocol {
+            injection_period_ms: simenv::spec::INJECTION_PERIOD_MS,
+            observation_ms,
+            grid: TestCaseGrid::coarse(n),
+            workers: 0,
+        }
+    }
+
+    /// Runs per error under this protocol.
+    pub fn cases_per_error(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Resolved worker count.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for Protocol {
+    fn default() -> Self {
+        Protocol::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_protocol_matches_section_3_4() {
+        let p = Protocol::paper();
+        assert_eq!(p.injection_period_ms, 20);
+        assert_eq!(p.observation_ms, 40_000);
+        assert_eq!(p.cases_per_error(), 25);
+    }
+
+    #[test]
+    fn scaled_protocol_shrinks() {
+        let p = Protocol::scaled(2, 1_000);
+        assert_eq!(p.cases_per_error(), 4);
+        assert_eq!(p.observation_ms, 1_000);
+    }
+
+    #[test]
+    fn effective_workers_positive() {
+        assert!(Protocol::paper().effective_workers() >= 1);
+        let mut p = Protocol::paper();
+        p.workers = 3;
+        assert_eq!(p.effective_workers(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Aggregation of trial outcomes into the paper's result tables.
+
+use arrestor::{EaId, EaSet};
+use ea_core::stats::{LatencyStats, Proportion};
+use memsim::Region;
+use serde::{Deserialize, Serialize};
+
+use crate::error_set::{E1Error, E2Error};
+use crate::experiment::Trial;
+
+/// The eight software versions of the evaluation, column order of
+/// Tables 7 and 8: EA1..EA7 alone, then all seven.
+pub fn versions() -> [EaSet; 8] {
+    EaSet::paper_versions()
+}
+
+/// Column labels of Tables 7 and 8.
+pub const VERSION_LABELS: [&str; 8] =
+    ["EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7", "All"];
+
+/// One measurement cell: detections split by run outcome, plus latency
+/// aggregations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// All runs: `P(d)` numerator/denominator.
+    pub all: Proportion,
+    /// Failing runs only: `P(d|fail)`.
+    pub fail: Proportion,
+    /// Non-failing runs only: `P(d|no fail)`.
+    pub no_fail: Proportion,
+    /// Latencies over all detected runs (Table 8 cells).
+    pub latency: LatencyStats,
+    /// Latencies over detected runs that failed (Table 9 split).
+    pub latency_fail: LatencyStats,
+}
+
+impl Cell {
+    /// Feeds one trial into the cell for the given version.
+    pub fn record(&mut self, trial: &Trial, version: EaSet) {
+        let detected = trial.detected(version);
+        self.all.record(detected);
+        if trial.failed {
+            self.fail.record(detected);
+        } else {
+            self.no_fail.record(detected);
+        }
+        if let Some(latency) = trial.latency_ms(version) {
+            self.latency.record(latency);
+            if trial.failed {
+                self.latency_fail.record(latency);
+            }
+        }
+    }
+
+    /// Merges another cell (parallel workers).
+    pub fn merge(&mut self, other: &Cell) {
+        self.all.merge(other.all);
+        self.fail.merge(other.fail);
+        self.no_fail.merge(other.no_fail);
+        self.latency.merge(other.latency);
+        self.latency_fail.merge(other.latency_fail);
+    }
+}
+
+/// One Table 7/8 row: a monitored signal across the eight versions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SignalRow {
+    /// Cells in version order (EA1..EA7, All).
+    pub cells: [Cell; 8],
+}
+
+/// The results of the E1 campaign (Tables 7 and 8).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct E1Report {
+    /// One row per monitored signal, Table 6 order.
+    pub rows: [SignalRow; 7],
+    /// The Total row.
+    pub totals: SignalRow,
+    trials: usize,
+}
+
+impl E1Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        E1Report::default()
+    }
+
+    /// Accumulates one trial of error `error`.
+    pub fn record(&mut self, error: &E1Error, trial: &Trial) {
+        self.trials += 1;
+        let row = error.ea.index();
+        for (v, version) in versions().iter().enumerate() {
+            self.rows[row].cells[v].record(trial, *version);
+            self.totals.cells[v].record(trial, *version);
+        }
+    }
+
+    /// Merges a partial report from a worker.
+    pub fn merge(&mut self, other: &E1Report) {
+        self.trials += other.trials;
+        for (row, other_row) in self.rows.iter_mut().zip(&other.rows) {
+            for (cell, other_cell) in row.cells.iter_mut().zip(&other_row.cells) {
+                cell.merge(other_cell);
+            }
+        }
+        for (cell, other_cell) in self.totals.cells.iter_mut().zip(&other.totals.cells) {
+            cell.merge(other_cell);
+        }
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Row label for row index `k` (the signal's name).
+    pub fn row_label(k: usize) -> &'static str {
+        EaId::from_index(k).map_or("?", EaId::signal_name)
+    }
+
+    /// The paper's headline `Pds` estimate: `P(d)` of the All column,
+    /// Total row.
+    pub fn p_ds(&self) -> Option<f64> {
+        self.totals.cells[7].all.estimate()
+    }
+}
+
+/// The results of the E2 campaign (Table 9), all-mechanisms version.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct E2Report {
+    /// Errors injected into application RAM.
+    pub ram: Cell,
+    /// Errors injected into the stack.
+    pub stack: Cell,
+    /// All E2 errors.
+    pub total: Cell,
+    trials: usize,
+}
+
+impl E2Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        E2Report::default()
+    }
+
+    /// Accumulates one trial of error `error` (All version).
+    pub fn record(&mut self, error: &E2Error, trial: &Trial) {
+        self.trials += 1;
+        let cell = match error.flip.region {
+            Region::AppRam => &mut self.ram,
+            Region::Stack => &mut self.stack,
+        };
+        cell.record(trial, EaSet::ALL);
+        self.total.record(trial, EaSet::ALL);
+    }
+
+    /// Merges a partial report from a worker.
+    pub fn merge(&mut self, other: &E2Report) {
+        self.trials += other.trials;
+        self.ram.merge(&other.ram);
+        self.stack.merge(&other.stack);
+        self.total.merge(&other.total);
+    }
+
+    /// Number of trials recorded.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// The paper's headline `Pdetect` estimate: total `P(d)`.
+    pub fn p_detect(&self) -> Option<f64> {
+        self.total.all.estimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsim::BitFlip;
+
+    fn trial(detected_ea: Option<EaId>, failed: bool, at: u64) -> Trial {
+        let mut per_ea_first_ms = [None; 7];
+        if let Some(ea) = detected_ea {
+            per_ea_first_ms[ea.index()] = Some(at);
+        }
+        Trial {
+            failed,
+            per_ea_first_ms,
+            first_injection_ms: 20,
+            final_distance_m: 100.0,
+        }
+    }
+
+    fn e1_error(ea: EaId) -> E1Error {
+        E1Error {
+            number: 1,
+            ea,
+            signal_bit: 0,
+            flip: BitFlip::new(Region::AppRam, 0, 0),
+        }
+    }
+
+    #[test]
+    fn e1_report_routes_to_signal_row_and_version_columns() {
+        let mut report = E1Report::new();
+        report.record(&e1_error(EaId::Ea6), &trial(Some(EaId::Ea6), true, 120));
+        report.record(&e1_error(EaId::Ea6), &trial(None, false, 0));
+
+        let row = &report.rows[EaId::Ea6.index()];
+        // EA6 column: 1 of 2 detected.
+        assert_eq!(row.cells[5].all.detected(), 1);
+        assert_eq!(row.cells[5].all.total(), 2);
+        // EA1 column: nothing detected.
+        assert_eq!(row.cells[0].all.detected(), 0);
+        // All column: same single detection.
+        assert_eq!(row.cells[7].all.detected(), 1);
+        // Conditioned splits.
+        assert_eq!(row.cells[7].fail.total(), 1);
+        assert_eq!(row.cells[7].fail.detected(), 1);
+        assert_eq!(row.cells[7].no_fail.total(), 1);
+        assert_eq!(row.cells[7].no_fail.detected(), 0);
+        // Latency: 120 - 20 = 100 ms.
+        assert_eq!(row.cells[5].latency.min(), Some(100));
+        assert_eq!(report.trials(), 2);
+        // Totals row sees both.
+        assert_eq!(report.totals.cells[7].all.total(), 2);
+    }
+
+    #[test]
+    fn e1_report_merge() {
+        let mut a = E1Report::new();
+        a.record(&e1_error(EaId::Ea1), &trial(Some(EaId::Ea1), false, 50));
+        let mut b = E1Report::new();
+        b.record(&e1_error(EaId::Ea1), &trial(None, true, 0));
+        a.merge(&b);
+        assert_eq!(a.trials(), 2);
+        assert_eq!(a.rows[0].cells[0].all.total(), 2);
+        assert_eq!(a.rows[0].cells[0].all.detected(), 1);
+    }
+
+    #[test]
+    fn e2_report_splits_regions() {
+        let mut report = E2Report::new();
+        let ram_err = E2Error {
+            number: 1,
+            flip: BitFlip::new(Region::AppRam, 5, 1),
+        };
+        let stack_err = E2Error {
+            number: 2,
+            flip: BitFlip::new(Region::Stack, 5, 1),
+        };
+        report.record(&ram_err, &trial(Some(EaId::Ea1), true, 220));
+        report.record(&stack_err, &trial(None, true, 0));
+        assert_eq!(report.ram.all.detected(), 1);
+        assert_eq!(report.stack.all.detected(), 0);
+        assert_eq!(report.total.all.total(), 2);
+        assert_eq!(report.ram.latency_fail.min(), Some(200));
+        assert_eq!(report.p_detect(), Some(0.5));
+    }
+
+    #[test]
+    fn p_ds_reads_total_all_column() {
+        let mut report = E1Report::new();
+        report.record(&e1_error(EaId::Ea2), &trial(Some(EaId::Ea2), false, 30));
+        assert_eq!(report.p_ds(), Some(1.0));
+    }
+
+    #[test]
+    fn row_labels_match_signals() {
+        assert_eq!(E1Report::row_label(0), "SetValue");
+        assert_eq!(E1Report::row_label(6), "OutValue");
+    }
+}

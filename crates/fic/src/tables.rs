@@ -1,0 +1,258 @@
+//! Text renderers reproducing the layout of the paper's Tables 6–9.
+
+use ea_core::stats::LatencyStats;
+
+use crate::error_set::E1Error;
+use crate::results::{Cell, E1Report, E2Report, VERSION_LABELS};
+
+fn pad(text: &str, width: usize) -> String {
+    format!("{text:>width$}")
+}
+
+/// Table 6: the distribution of errors in error set E1.
+pub fn render_table6(errors: &[E1Error], cases_per_error: usize) -> String {
+    let mut out = String::new();
+    out.push_str("Table 6. The distribution of errors in the error set E1.\n");
+    out.push_str(&format!(
+        "{:<14}{:<12}{:>10}{:>16}{:>14}\n",
+        "Signal", "Exec. ass.", "# errors", "Error numbers", "# injections"
+    ));
+    let mut total_errors = 0;
+    let mut total_injections = 0;
+    for chunk in errors.chunks(16) {
+        let Some(first) = chunk.first() else { continue };
+        let last = chunk.last().expect("non-empty chunk");
+        let injections = chunk.len() * cases_per_error;
+        out.push_str(&format!(
+            "{:<14}{:<12}{:>10}{:>16}{:>14}\n",
+            first.signal_name(),
+            first.ea.to_string(),
+            chunk.len(),
+            format!("S{}-S{}", first.number, last.number),
+            injections,
+        ));
+        total_errors += chunk.len();
+        total_injections += injections;
+    }
+    out.push_str(&format!(
+        "{:<14}{:<12}{:>10}{:>16}{:>14}\n",
+        "Total", "-", total_errors, "-", total_injections
+    ));
+    out
+}
+
+/// Table 7: error detection probabilities (%) with 95 % confidence
+/// intervals, per signal and per version.
+pub fn render_table7(report: &E1Report) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n",
+    );
+    out.push_str(&header());
+    for (k, row) in report.rows.iter().enumerate() {
+        out.push_str(&probability_rows(E1Report::row_label(k), &row.cells));
+    }
+    out.push_str(&probability_rows("Total", &report.totals.cells));
+    out
+}
+
+fn header() -> String {
+    let mut line = format!("{:<13}{:<13}", "Signal", "Measure");
+    for label in VERSION_LABELS {
+        line.push_str(&pad(label, 12));
+    }
+    line.push('\n');
+    line
+}
+
+fn probability_rows(label: &str, cells: &[Cell; 8]) -> String {
+    let mut out = String::new();
+    for (measure, pick) in [
+        ("P(d)", 0usize),
+        ("P(d|fail)", 1),
+        ("P(d|no fail)", 2),
+    ] {
+        out.push_str(&format!(
+            "{:<13}{:<13}",
+            if pick == 0 { label } else { "" },
+            measure
+        ));
+        for cell in cells {
+            let proportion = match pick {
+                0 => &cell.all,
+                1 => &cell.fail,
+                _ => &cell.no_fail,
+            };
+            out.push_str(&pad(&proportion.paper_cell(), 12));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 8: detection latencies for all detected errors (ms).
+pub fn render_table8(report: &E1Report) -> String {
+    let mut out = String::new();
+    out.push_str("Table 8. Error detection latencies for all errors (milliseconds).\n");
+    out.push_str(&header());
+    for (k, row) in report.rows.iter().enumerate() {
+        out.push_str(&latency_rows(E1Report::row_label(k), &row.cells));
+    }
+    out.push_str(&latency_rows("Total", &report.totals.cells));
+    out
+}
+
+fn latency_rows(label: &str, cells: &[Cell; 8]) -> String {
+    let mut out = String::new();
+    for (measure, pick) in [("Min", 0usize), ("Average", 1), ("Max", 2)] {
+        out.push_str(&format!(
+            "{:<13}{:<13}",
+            if pick == 0 { label } else { "" },
+            measure
+        ));
+        for cell in cells {
+            out.push_str(&pad(&latency_component(&cell.latency, pick), 12));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn latency_component(latency: &LatencyStats, pick: usize) -> String {
+    let value = match pick {
+        0 => latency.min().map(|v| v as f64),
+        1 => latency.average(),
+        _ => latency.max().map(|v| v as f64),
+    };
+    value.map_or_else(|| "-".to_owned(), |v| format!("{v:.0}"))
+}
+
+/// Table 9: results for error set E2 — coverage and latencies per area.
+pub fn render_table9(report: &E2Report) -> String {
+    let mut out = String::new();
+    out.push_str("Table 9. Results for error set E2.\n");
+    out.push_str(&format!(
+        "{:<8}{:<14}{:>14} | {:<28}{:<28}\n",
+        "Area", "Measure", "Coverage (%)", "Latency all (min/avg/max)", "Latency failures (min/avg/max)"
+    ));
+    for (area, cell) in [
+        ("RAM", &report.ram),
+        ("Stack", &report.stack),
+        ("Total", &report.total),
+    ] {
+        for (measure, pick) in [
+            ("P(d)", 0usize),
+            ("P(d|fail)", 1),
+            ("P(d|no fail)", 2),
+        ] {
+            let proportion = match pick {
+                0 => &cell.all,
+                1 => &cell.fail,
+                _ => &cell.no_fail,
+            };
+            let latencies = if pick == 0 {
+                format!(
+                    "{:<28}{:<28}",
+                    cell.latency.paper_cell(),
+                    cell.latency_fail.paper_cell()
+                )
+            } else {
+                format!("{:<28}{:<28}", "", "")
+            };
+            out.push_str(&format!(
+                "{:<8}{:<14}{:>14} | {}\n",
+                if pick == 0 { area } else { "" },
+                measure,
+                proportion.paper_cell(),
+                latencies,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_set;
+    use crate::experiment::Trial;
+    use arrestor::EaId;
+
+    fn fake_e1_report() -> E1Report {
+        let mut report = E1Report::new();
+        let errors = error_set::e1();
+        for (k, error) in errors.iter().enumerate() {
+            let mut per_ea_first_ms = [None; 7];
+            if k % 2 == 0 {
+                per_ea_first_ms[error.ea.index()] = Some(120);
+            }
+            let trial = Trial {
+                failed: k % 3 == 0,
+                per_ea_first_ms,
+                first_injection_ms: 20,
+                final_distance_m: 250.0,
+            };
+            report.record(error, &trial);
+        }
+        report
+    }
+
+    #[test]
+    fn table6_lists_each_signal_and_totals() {
+        let errors = error_set::e1();
+        let text = render_table6(&errors, 25);
+        assert!(text.contains("SetValue"));
+        assert!(text.contains("EA7"));
+        assert!(text.contains("S97-S112"));
+        assert!(text.contains("400"));
+        assert!(text.lines().last().unwrap().contains("2800"));
+    }
+
+    #[test]
+    fn table7_has_24_measure_rows() {
+        let text = render_table7(&fake_e1_report());
+        let measure_rows = text.lines().filter(|l| l.contains("P(d")).count();
+        // 8 signal groups (7 + total) × 3 measures.
+        assert_eq!(measure_rows, 24);
+        assert!(text.contains("ms_slot_nbr"));
+        assert!(text.contains("All"));
+    }
+
+    #[test]
+    fn table8_shows_latency_triples() {
+        let text = render_table8(&fake_e1_report());
+        assert!(text.contains("Average"));
+        assert!(text.contains("100")); // 120 - 20 ms latency
+    }
+
+    #[test]
+    fn table9_renders_three_areas() {
+        let mut report = E2Report::new();
+        let errors = error_set::e2();
+        let mut per_ea_first_ms = [None; 7];
+        per_ea_first_ms[EaId::Ea1.index()] = Some(500);
+        report.record(
+            &errors[0],
+            &Trial {
+                failed: true,
+                per_ea_first_ms,
+                first_injection_ms: 20,
+                final_distance_m: 400.0,
+            },
+        );
+        report.record(
+            &errors[199],
+            &Trial {
+                failed: false,
+                per_ea_first_ms: [None; 7],
+                first_injection_ms: 20,
+                final_distance_m: 250.0,
+            },
+        );
+        let text = render_table9(&report);
+        assert!(text.contains("RAM"));
+        assert!(text.contains("Stack"));
+        assert!(text.contains("Total"));
+        assert!(text.contains("480/480/480"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for memory operations.
+
+use std::fmt;
+
+/// Errors from memory accesses, allocation, and injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An address (or a multi-byte access ending) beyond the bank size.
+    OutOfBounds {
+        /// Offending address.
+        addr: usize,
+        /// Width of the attempted access in bytes.
+        width: usize,
+        /// Size of the bank.
+        size: usize,
+    },
+    /// A bit index outside `0..8`.
+    BadBit {
+        /// Offending bit index.
+        bit: u8,
+    },
+    /// The memory map ran out of space for an allocation.
+    OutOfMemory {
+        /// Name of the symbol that failed to allocate.
+        name: String,
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A symbol name was allocated twice.
+    DuplicateSymbol {
+        /// The clashing name.
+        name: String,
+    },
+    /// A stack layout frame overflows the stack bank.
+    StackOverflow {
+        /// Name of the frame that did not fit.
+        frame: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfBounds { addr, width, size } => {
+                write!(f, "access of {width} byte(s) at {addr} exceeds bank of {size} bytes")
+            }
+            Error::BadBit { bit } => write!(f, "bit index {bit} is outside 0..8"),
+            Error::OutOfMemory {
+                name,
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "allocating `{name}` needs {requested} byte(s) but only {remaining} remain"
+            ),
+            Error::DuplicateSymbol { name } => write!(f, "symbol `{name}` allocated twice"),
+            Error::StackOverflow { frame } => {
+                write!(f, "stack frame `{frame}` does not fit in the stack bank")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let err = Error::OutOfBounds {
+            addr: 500,
+            width: 2,
+            size: 417,
+        };
+        assert!(err.to_string().contains("500"));
+        assert!(err.to_string().contains("417"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error + Send + Sync + 'static>() {}
+        check::<Error>();
+    }
+}

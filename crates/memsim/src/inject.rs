@@ -1,0 +1,74 @@
+//! Injection coordinates: which bank, which byte, which bit.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The memory area an injection targets (paper Section 3.4: application
+/// RAM or stack, both in the master node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// Application RAM (417 bytes on the paper's target).
+    AppRam,
+    /// Stack area (1008 bytes on the paper's target).
+    Stack,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::AppRam => f.write_str("RAM"),
+            Region::Stack => f.write_str("Stack"),
+        }
+    }
+}
+
+/// A single-bit-flip error definition, the paper's error model.
+///
+/// One `BitFlip` is one *error* in the sense of the error sets E1/E2; the
+/// campaign injects it repeatedly (every 20 ms) during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitFlip {
+    /// Target area.
+    pub region: Region,
+    /// Byte address within the area.
+    pub addr: usize,
+    /// Bit position within the byte (0..8).
+    pub bit: u8,
+}
+
+impl BitFlip {
+    /// Creates a flip definition.
+    pub const fn new(region: Region, addr: usize, bit: u8) -> Self {
+        BitFlip { region, addr, bit }
+    }
+}
+
+impl fmt::Display for BitFlip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:#06x}.{}", self.region, self.addr, self.bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact() {
+        let flip = BitFlip::new(Region::AppRam, 0x1A, 7);
+        assert_eq!(flip.to_string(), "RAM:0x001a.7");
+        let flip = BitFlip::new(Region::Stack, 3, 0);
+        assert_eq!(flip.to_string(), "Stack:0x0003.0");
+    }
+
+    #[test]
+    fn equality_and_hash_derive() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(BitFlip::new(Region::AppRam, 1, 1));
+        set.insert(BitFlip::new(Region::AppRam, 1, 1));
+        set.insert(BitFlip::new(Region::Stack, 1, 1));
+        assert_eq!(set.len(), 2);
+    }
+}

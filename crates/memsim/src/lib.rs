@@ -1,0 +1,56 @@
+//! Simulated embedded target memory with SWIFI bit-flip injection.
+//!
+//! The paper's target stores all application state in 417 bytes of
+//! application RAM plus 1008 bytes of stack, and the FIC3 injector flips
+//! single bits at `(address, bit)` coordinates in those areas. This crate
+//! provides that substrate:
+//!
+//! * [`Ram`] — a bounds-checked byte array with 8/16-bit little-endian
+//!   accessors and [`Ram::flip_bit`];
+//! * [`MemoryMap`] — a bump allocator handing out named, typed cells
+//!   ([`CellU8`], [`CellU16`]) so the application reads and writes its
+//!   variables *through* the RAM image, making injected flips genuinely
+//!   perturb program state;
+//! * [`StackLayout`] / [`StackHit`] — a model of the stack area
+//!   (frames with control slots and locals, plus dead space) used to
+//!   classify where a stack flip lands; the *semantics* of a control-slot
+//!   corruption (control-flow error) belong to the application crate;
+//! * [`TargetMemory`] — the pair of banks with the paper's sizes, plus
+//!   injection bookkeeping.
+//!
+//! # Example
+//!
+//! ```
+//! use memsim::{MemoryMap, Ram};
+//!
+//! let mut map = MemoryMap::new(64);
+//! let counter = map.alloc_u16("counter")?;
+//! let mut ram = Ram::new(64);
+//! counter.write(&mut ram, 41);
+//! ram.flip_bit(counter.addr(), 1)?; // SWIFI: flip bit 1 -> 41 ^ 2 = 43
+//! assert_eq!(counter.read(&ram), 43);
+//! # Ok::<(), memsim::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod inject;
+pub mod map;
+pub mod ram;
+pub mod stack;
+pub mod target;
+
+pub use error::Error;
+pub use inject::{BitFlip, Region};
+pub use map::{CellU16, CellU8, MemoryMap, Symbol};
+pub use ram::Ram;
+pub use stack::{FramePart, Liveness, StackHit, StackLayout};
+pub use target::TargetMemory;
+
+/// Byte size of the application RAM area of the paper's target.
+pub const APP_RAM_BYTES: usize = 417;
+
+/// Byte size of the stack area of the paper's target.
+pub const STACK_BYTES: usize = 1008;

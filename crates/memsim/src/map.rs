@@ -1,0 +1,291 @@
+//! Symbolic allocation of variables inside a [`Ram`] bank.
+//!
+//! The application allocates every variable through a [`MemoryMap`] and
+//! accesses it through the returned typed cell, so the RAM image is the
+//! *only* store of program state — exactly what makes SWIFI faults in the
+//! image equivalent to faults in the program.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::ram::Ram;
+
+/// A named allocation in the map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Start address within the bank.
+    pub addr: usize,
+    /// Width in bytes.
+    pub width: usize,
+}
+
+/// Handle to an allocated little-endian 16-bit variable.
+///
+/// Reads default to 0 if the cell was somehow allocated out of bounds —
+/// the allocator guarantees in-bounds placement, so the accessors are
+/// panic-free in practice and infallible by API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellU16 {
+    addr: usize,
+}
+
+impl CellU16 {
+    /// A cell at a fixed address, for banks without a [`MemoryMap`]
+    /// (e.g. variables living in stack-frame locals).
+    pub const fn at(addr: usize) -> Self {
+        CellU16 { addr }
+    }
+
+    /// Start address of the cell.
+    pub const fn addr(self) -> usize {
+        self.addr
+    }
+
+    /// Reads the current value from the RAM image.
+    pub fn read(self, ram: &Ram) -> u16 {
+        ram.read_u16(self.addr).unwrap_or(0)
+    }
+
+    /// Writes a value to the RAM image.
+    pub fn write(self, ram: &mut Ram, value: u16) {
+        let _ = ram.write_u16(self.addr, value);
+    }
+
+    /// Adds a wrapping delta (convenient for counters).
+    pub fn add_wrapping(self, ram: &mut Ram, delta: u16) -> u16 {
+        let value = self.read(ram).wrapping_add(delta);
+        self.write(ram, value);
+        value
+    }
+}
+
+/// Handle to an allocated 8-bit variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellU8 {
+    addr: usize,
+}
+
+impl CellU8 {
+    /// Address of the cell.
+    pub const fn addr(self) -> usize {
+        self.addr
+    }
+
+    /// Reads the current value from the RAM image.
+    pub fn read(self, ram: &Ram) -> u8 {
+        ram.read_u8(self.addr).unwrap_or(0)
+    }
+
+    /// Writes a value to the RAM image.
+    pub fn write(self, ram: &mut Ram, value: u8) {
+        let _ = ram.write_u8(self.addr, value);
+    }
+}
+
+/// A bump allocator over a bank of the given size, with a symbol table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MemoryMap {
+    size: usize,
+    next: usize,
+    symbols: BTreeMap<String, Symbol>,
+}
+
+impl MemoryMap {
+    /// An empty map over a bank of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        MemoryMap {
+            size,
+            next: 0,
+            symbols: BTreeMap::new(),
+        }
+    }
+
+    fn alloc(&mut self, name: &str, width: usize) -> Result<usize, Error> {
+        if self.symbols.contains_key(name) {
+            return Err(Error::DuplicateSymbol {
+                name: name.to_owned(),
+            });
+        }
+        let remaining = self.size - self.next;
+        if width > remaining {
+            return Err(Error::OutOfMemory {
+                name: name.to_owned(),
+                requested: width,
+                remaining,
+            });
+        }
+        let addr = self.next;
+        self.next += width;
+        self.symbols.insert(
+            name.to_owned(),
+            Symbol {
+                name: name.to_owned(),
+                addr,
+                width,
+            },
+        );
+        Ok(addr)
+    }
+
+    /// Allocates a 16-bit variable.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OutOfMemory`] / [`Error::DuplicateSymbol`].
+    pub fn alloc_u16(&mut self, name: &str) -> Result<CellU16, Error> {
+        Ok(CellU16 {
+            addr: self.alloc(name, 2)?,
+        })
+    }
+
+    /// Allocates an 8-bit variable.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OutOfMemory`] / [`Error::DuplicateSymbol`].
+    pub fn alloc_u8(&mut self, name: &str) -> Result<CellU8, Error> {
+        Ok(CellU8 {
+            addr: self.alloc(name, 1)?,
+        })
+    }
+
+    /// Reserves `width` anonymous bytes (tables, buffers); returns the
+    /// start address.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OutOfMemory`] / [`Error::DuplicateSymbol`].
+    pub fn alloc_block(&mut self, name: &str, width: usize) -> Result<usize, Error> {
+        self.alloc(name, width)
+    }
+
+    /// Bytes allocated so far.
+    pub const fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Bytes still free.
+    pub const fn remaining(&self) -> usize {
+        self.size - self.next
+    }
+
+    /// Total bank size this map allocates within.
+    pub const fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.get(name)
+    }
+
+    /// The symbol covering `addr`, if any (used to attribute an injected
+    /// flip to a variable in experiment readouts).
+    pub fn symbol_at(&self, addr: usize) -> Option<&Symbol> {
+        self.symbols
+            .values()
+            .find(|s| s.addr <= addr && addr < s.addr + s.width)
+    }
+
+    /// Iterates over all symbols in address order.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        let mut all: Vec<&Symbol> = self.symbols.values().collect();
+        all.sort_by_key(|s| s.addr);
+        all.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut map = MemoryMap::new(8);
+        let a = map.alloc_u16("a").unwrap();
+        let b = map.alloc_u8("b").unwrap();
+        let c = map.alloc_u16("c").unwrap();
+        assert_eq!(a.addr(), 0);
+        assert_eq!(b.addr(), 2);
+        assert_eq!(c.addr(), 3);
+        assert_eq!(map.used(), 5);
+        assert_eq!(map.remaining(), 3);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_overflow() {
+        let mut map = MemoryMap::new(3);
+        map.alloc_u16("x").unwrap();
+        assert!(matches!(
+            map.alloc_u16("x").unwrap_err(),
+            Error::DuplicateSymbol { .. }
+        ));
+        assert!(matches!(
+            map.alloc_u16("y").unwrap_err(),
+            Error::OutOfMemory { .. }
+        ));
+        // One byte still fits.
+        map.alloc_u8("z").unwrap();
+        assert_eq!(map.remaining(), 0);
+    }
+
+    #[test]
+    fn cells_access_ram() {
+        let mut map = MemoryMap::new(16);
+        let v = map.alloc_u16("v").unwrap();
+        let f = map.alloc_u8("f").unwrap();
+        let mut ram = Ram::new(16);
+        v.write(&mut ram, 512);
+        f.write(&mut ram, 7);
+        assert_eq!(v.read(&ram), 512);
+        assert_eq!(f.read(&ram), 7);
+        assert_eq!(v.add_wrapping(&mut ram, 10), 522);
+        assert_eq!(v.read(&ram), 522);
+    }
+
+    #[test]
+    fn add_wrapping_wraps() {
+        let mut map = MemoryMap::new(2);
+        let v = map.alloc_u16("v").unwrap();
+        let mut ram = Ram::new(2);
+        v.write(&mut ram, u16::MAX);
+        assert_eq!(v.add_wrapping(&mut ram, 1), 0);
+    }
+
+    #[test]
+    fn symbol_lookup() {
+        let mut map = MemoryMap::new(16);
+        map.alloc_u16("first").unwrap();
+        map.alloc_block("table", 6).unwrap();
+        assert_eq!(map.symbol("first").unwrap().addr, 0);
+        assert_eq!(map.symbol("table").unwrap().width, 6);
+        assert!(map.symbol("ghost").is_none());
+        assert_eq!(map.symbol_at(1).unwrap().name, "first");
+        assert_eq!(map.symbol_at(5).unwrap().name, "table");
+        assert!(map.symbol_at(9).is_none());
+    }
+
+    #[test]
+    fn symbols_iterate_in_address_order() {
+        let mut map = MemoryMap::new(16);
+        map.alloc_u16("zz").unwrap();
+        map.alloc_u16("aa").unwrap();
+        let names: Vec<_> = map.symbols().map(|s| s.name.clone()).collect();
+        assert_eq!(names, vec!["zz", "aa"]);
+    }
+
+    #[test]
+    fn flip_through_symbol_is_visible_through_cell() {
+        let mut map = MemoryMap::new(4);
+        let v = map.alloc_u16("v").unwrap();
+        let mut ram = Ram::new(4);
+        v.write(&mut ram, 0);
+        // Flip bit 12 of the 16-bit word = bit 4 of the high byte.
+        ram.flip_bit(v.addr() + 1, 4).unwrap();
+        assert_eq!(v.read(&ram), 1 << 12);
+    }
+}

@@ -1,0 +1,268 @@
+//! A structural model of the target's stack area.
+//!
+//! On the paper's target, a bit flip in the stack can hit (a) dead space
+//! below the current stack pointer — no effect; (b) a live *local*
+//! variable — a data error in the owning activation; or (c) live
+//! *control* data (return address, saved registers) — typically a
+//! control-flow error. The paper observes that stack errors mostly cause
+//! control-flow errors, which signal-level assertions are not aimed at.
+//!
+//! [`StackLayout`] describes the frames the application pushes, each with
+//! a control slot and a locals slot and a [`Liveness`] discipline.
+//! [`StackLayout::classify`] tells an injector what a flip at a given
+//! address would corrupt; acting on that (e.g. skipping a module, or
+//! perturbing its locals) is the application crate's job, since only it
+//! knows the dispatch semantics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// When the bytes of a frame hold live data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Liveness {
+    /// Live at all times (e.g. the background process's frame, which is
+    /// on the stack for the entire mission, or the kernel/scheduler
+    /// region).
+    Always,
+    /// Live only while the owning periodic module executes; flips landing
+    /// here at other times are overwritten by the next frame push.
+    WhenScheduled,
+}
+
+/// Which part of a frame an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FramePart {
+    /// Return address / saved registers: corruption derails control flow.
+    Control,
+    /// Local variables: corruption is a data error in the activation.
+    Locals,
+}
+
+/// One frame of the layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Owning module name.
+    pub module: String,
+    /// Start address within the stack bank.
+    pub base: usize,
+    /// Control-slot bytes at `[base, base + control)`.
+    pub control: usize,
+    /// Locals bytes at `[base + control, base + control + locals)`.
+    pub locals: usize,
+    /// Liveness discipline of the frame.
+    pub liveness: Liveness,
+}
+
+impl Frame {
+    /// Total frame size in bytes.
+    pub const fn size(&self) -> usize {
+        self.control + self.locals
+    }
+
+    /// Whether `addr` falls inside this frame.
+    pub const fn contains(&self, addr: usize) -> bool {
+        self.base <= addr && addr < self.base + self.size()
+    }
+}
+
+/// Classification of a stack address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackHit {
+    /// Dead space: the flip has no effect.
+    Dead,
+    /// Inside a frame.
+    Frame {
+        /// Owning module name.
+        module: String,
+        /// Control or locals.
+        part: FramePart,
+        /// Byte offset from the start of that part.
+        offset: usize,
+        /// Liveness discipline of the frame.
+        liveness: Liveness,
+    },
+}
+
+/// The stack-area layout: frames packed from the top of the bank
+/// downwards (stacks conventionally grow down), with everything below the
+/// deepest frame being dead space.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StackLayout {
+    size: usize,
+    frames: Vec<Frame>,
+}
+
+impl StackLayout {
+    /// An empty layout over a stack bank of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        StackLayout {
+            size,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Pushes a frame below the previously pushed one.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::StackOverflow`] if the frame does not fit.
+    pub fn push_frame(
+        &mut self,
+        module: impl Into<String>,
+        control: usize,
+        locals: usize,
+        liveness: Liveness,
+    ) -> Result<(), Error> {
+        let module = module.into();
+        let top = self
+            .frames
+            .last()
+            .map_or(self.size, |f| f.base);
+        let size = control + locals;
+        if size > top {
+            return Err(Error::StackOverflow { frame: module });
+        }
+        self.frames.push(Frame {
+            module,
+            base: top - size,
+            control,
+            locals,
+            liveness,
+        });
+        Ok(())
+    }
+
+    /// Total stack bank size.
+    pub const fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The frames, outermost (highest address) first.
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Looks up a frame by module name.
+    pub fn frame(&self, module: &str) -> Option<&Frame> {
+        self.frames.iter().find(|f| f.module == module)
+    }
+
+    /// Classifies an address: dead space, or which part of which frame.
+    pub fn classify(&self, addr: usize) -> StackHit {
+        for frame in &self.frames {
+            if frame.contains(addr) {
+                let rel = addr - frame.base;
+                let (part, offset) = if rel < frame.control {
+                    (FramePart::Control, rel)
+                } else {
+                    (FramePart::Locals, rel - frame.control)
+                };
+                return StackHit::Frame {
+                    module: frame.module.clone(),
+                    part,
+                    offset,
+                    liveness: frame.liveness,
+                };
+            }
+        }
+        StackHit::Dead
+    }
+
+    /// Number of live (frame-covered) bytes.
+    pub fn live_bytes(&self) -> usize {
+        self.frames.iter().map(Frame::size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StackLayout {
+        let mut l = StackLayout::new(100);
+        l.push_frame("KERNEL", 8, 0, Liveness::Always).unwrap();
+        l.push_frame("CALC", 4, 20, Liveness::Always).unwrap();
+        l.push_frame("V_REG", 4, 6, Liveness::WhenScheduled).unwrap();
+        l
+    }
+
+    #[test]
+    fn frames_pack_downwards() {
+        let l = layout();
+        let kernel = l.frame("KERNEL").unwrap();
+        let calc = l.frame("CALC").unwrap();
+        let vreg = l.frame("V_REG").unwrap();
+        assert_eq!(kernel.base, 92);
+        assert_eq!(calc.base, 68);
+        assert_eq!(vreg.base, 58);
+        assert_eq!(l.live_bytes(), 8 + 24 + 10);
+    }
+
+    #[test]
+    fn classify_control_vs_locals() {
+        let l = layout();
+        // CALC frame: [68, 92), control [68, 72), locals [72, 92).
+        match l.classify(69) {
+            StackHit::Frame {
+                module,
+                part,
+                offset,
+                liveness,
+            } => {
+                assert_eq!(module, "CALC");
+                assert_eq!(part, FramePart::Control);
+                assert_eq!(offset, 1);
+                assert_eq!(liveness, Liveness::Always);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match l.classify(75) {
+            StackHit::Frame { module, part, offset, .. } => {
+                assert_eq!(module, "CALC");
+                assert_eq!(part, FramePart::Locals);
+                assert_eq!(offset, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn below_deepest_frame_is_dead() {
+        let l = layout();
+        assert_eq!(l.classify(0), StackHit::Dead);
+        assert_eq!(l.classify(57), StackHit::Dead);
+        assert_ne!(l.classify(58), StackHit::Dead);
+    }
+
+    #[test]
+    fn periodic_frame_liveness_reported() {
+        let l = layout();
+        match l.classify(60) {
+            StackHit::Frame { module, liveness, .. } => {
+                assert_eq!(module, "V_REG");
+                assert_eq!(liveness, Liveness::WhenScheduled);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut l = StackLayout::new(10);
+        l.push_frame("A", 4, 4, Liveness::Always).unwrap();
+        assert!(matches!(
+            l.push_frame("B", 4, 4, Liveness::Always).unwrap_err(),
+            Error::StackOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn frame_boundaries_are_exact() {
+        let l = layout();
+        let vreg = l.frame("V_REG").unwrap();
+        assert!(vreg.contains(vreg.base));
+        assert!(vreg.contains(vreg.base + vreg.size() - 1));
+        assert!(!vreg.contains(vreg.base + vreg.size()));
+    }
+}

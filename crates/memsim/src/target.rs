@@ -1,0 +1,177 @@
+//! The complete target memory: application RAM + stack, with injection
+//! application and bookkeeping.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::inject::{BitFlip, Region};
+use crate::ram::Ram;
+use crate::stack::{StackHit, StackLayout};
+use crate::{APP_RAM_BYTES, STACK_BYTES};
+
+/// Both memory banks of the paper's master node, with the stack layout
+/// needed to interpret stack hits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TargetMemory {
+    app: Ram,
+    stack: Ram,
+    layout: StackLayout,
+    injections: u64,
+}
+
+impl TargetMemory {
+    /// Banks with the paper's sizes (417 B RAM, 1008 B stack) and the
+    /// given stack layout.
+    pub fn new(layout: StackLayout) -> Self {
+        TargetMemory {
+            app: Ram::new(APP_RAM_BYTES),
+            stack: Ram::new(STACK_BYTES),
+            layout,
+            injections: 0,
+        }
+    }
+
+    /// Custom bank sizes (tests, other targets).
+    pub fn with_sizes(app_bytes: usize, stack_bytes: usize, layout: StackLayout) -> Self {
+        TargetMemory {
+            app: Ram::new(app_bytes),
+            stack: Ram::new(stack_bytes),
+            layout,
+            injections: 0,
+        }
+    }
+
+    /// The application RAM bank.
+    pub fn app(&self) -> &Ram {
+        &self.app
+    }
+
+    /// Mutable application RAM bank.
+    pub fn app_mut(&mut self) -> &mut Ram {
+        &mut self.app
+    }
+
+    /// The stack bank.
+    pub fn stack(&self) -> &Ram {
+        &self.stack
+    }
+
+    /// Mutable stack bank.
+    pub fn stack_mut(&mut self) -> &mut Ram {
+        &mut self.stack
+    }
+
+    /// The stack layout used to classify stack hits.
+    pub fn layout(&self) -> &StackLayout {
+        &self.layout
+    }
+
+    /// Simultaneous mutable access to both banks (application code that
+    /// touches RAM variables and stack locals in one pass).
+    pub fn banks_mut(&mut self) -> (&mut Ram, &mut Ram) {
+        (&mut self.app, &mut self.stack)
+    }
+
+    /// Applies one bit flip; returns what the flip hit (dead space or
+    /// frame part) for stack flips, `None` for RAM flips (attribution of
+    /// RAM flips goes through the application's [`crate::MemoryMap`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::OutOfBounds`] / [`Error::BadBit`] for bad coordinates.
+    pub fn inject(&mut self, flip: BitFlip) -> Result<Option<StackHit>, Error> {
+        self.injections += 1;
+        match flip.region {
+            Region::AppRam => {
+                self.app.flip_bit(flip.addr, flip.bit)?;
+                Ok(None)
+            }
+            Region::Stack => {
+                self.stack.flip_bit(flip.addr, flip.bit)?;
+                Ok(Some(self.layout.classify(flip.addr)))
+            }
+        }
+    }
+
+    /// Number of injections applied since construction / reset.
+    pub const fn injections(&self) -> u64 {
+        self.injections
+    }
+
+    /// Zeroes both banks and the injection counter (new run).
+    pub fn reset(&mut self) {
+        self.app.clear();
+        self.stack.clear();
+        self.injections = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stack::Liveness;
+
+    fn target() -> TargetMemory {
+        let mut layout = StackLayout::new(STACK_BYTES);
+        layout
+            .push_frame("CALC", 4, 16, Liveness::Always)
+            .unwrap();
+        TargetMemory::new(layout)
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let t = target();
+        assert_eq!(t.app().len(), 417);
+        assert_eq!(t.stack().len(), 1008);
+    }
+
+    #[test]
+    fn ram_injection_flips_app_bank() {
+        let mut t = target();
+        t.inject(BitFlip::new(Region::AppRam, 10, 3)).unwrap();
+        assert_eq!(t.app().read_u8(10).unwrap(), 1 << 3);
+        assert_eq!(t.injections(), 1);
+    }
+
+    #[test]
+    fn stack_injection_reports_hit() {
+        let mut t = target();
+        // CALC frame occupies the top 20 bytes of the stack.
+        let calc_base = STACK_BYTES - 20;
+        let hit = t
+            .inject(BitFlip::new(Region::Stack, calc_base + 1, 0))
+            .unwrap()
+            .unwrap();
+        match hit {
+            StackHit::Frame { module, .. } => assert_eq!(module, "CALC"),
+            StackHit::Dead => panic!("expected frame hit"),
+        }
+        let dead = t
+            .inject(BitFlip::new(Region::Stack, 0, 0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(dead, StackHit::Dead);
+    }
+
+    #[test]
+    fn bad_coordinates_error() {
+        let mut t = target();
+        assert!(t.inject(BitFlip::new(Region::AppRam, 417, 0)).is_err());
+        assert!(t.inject(BitFlip::new(Region::Stack, 2000, 0)).is_err());
+        assert!(t.inject(BitFlip::new(Region::AppRam, 0, 9)).is_err());
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = target();
+        t.inject(BitFlip::new(Region::AppRam, 10, 3)).unwrap();
+        t.app_mut().write_u16(0, 99).unwrap();
+        t.stack_mut().write_u16(0, 99).unwrap();
+        t.reset();
+        assert_eq!(t.app().read_u16(0).unwrap(), 0);
+        assert_eq!(t.stack().read_u16(0).unwrap(), 0);
+        assert_eq!(t.app().read_u8(10).unwrap(), 0);
+        assert_eq!(t.injections(), 0);
+    }
+}

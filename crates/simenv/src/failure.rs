@@ -1,0 +1,328 @@
+//! The pessimistic failure classification of paper Section 3.3.
+//!
+//! A run **fails** if any of the following constraints is violated:
+//!
+//! 1. retardation: `r < 2.8 g`;
+//! 2. retardation force: `Fret < Fmax(m, v)`, with `Fmax` defined for a
+//!    grid of aircraft masses and engagement velocities and interpolated /
+//!    extrapolated elsewhere (the paper takes the grid from
+//!    MIL-A-38202C; that table is not public, so we use a plausible
+//!    monotone surface with the same role — see DESIGN.md §2.3);
+//! 3. stopping distance: `d < 335 m` (an aircraft still rolling at the
+//!    end of the observation window is pessimistically an overrun).
+
+use serde::{Deserialize, Serialize};
+
+use crate::plant::PlantState;
+use crate::spec;
+use crate::testcase::TestCase;
+
+/// The `Fmax(m, v)` limit surface: a bilinear interpolation over a
+/// mass × velocity grid, linearly extrapolated outside it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FmaxTable {
+    masses_kg: Vec<f64>,
+    velocities_ms: Vec<f64>,
+    /// `limits[i][j]` = Fmax at `masses_kg[i]`, `velocities_ms[j]`, N.
+    limits_n: Vec<Vec<f64>>,
+}
+
+impl FmaxTable {
+    /// Builds a table; panics on non-grid-shaped input (programmer
+    /// error — tables are compiled in).
+    ///
+    /// # Panics
+    ///
+    /// If axes have fewer than two points or `limits` is not
+    /// `masses.len() × velocities.len()`.
+    pub fn new(masses_kg: Vec<f64>, velocities_ms: Vec<f64>, limits_n: Vec<Vec<f64>>) -> Self {
+        assert!(masses_kg.len() >= 2 && velocities_ms.len() >= 2);
+        assert_eq!(limits_n.len(), masses_kg.len());
+        for row in &limits_n {
+            assert_eq!(row.len(), velocities_ms.len());
+        }
+        FmaxTable {
+            masses_kg,
+            velocities_ms,
+            limits_n,
+        }
+    }
+
+    /// The specification-style table used by the reproduction: a 5 × 5
+    /// grid over the paper's test envelope. Each entry is
+    /// `1.8 × m·v²/(2·TARGET_STOP_M) + 30 kN` — 1.8× the force a nominal
+    /// arrestment needs, plus a structural floor — giving fault-free runs
+    /// a comfortable margin while full-pressure faults exceed it.
+    pub fn specification() -> Self {
+        let masses: Vec<f64> = vec![8_000.0, 11_000.0, 14_000.0, 17_000.0, 20_000.0];
+        let velocities: Vec<f64> = vec![40.0, 47.5, 55.0, 62.5, 70.0];
+        let limits = masses
+            .iter()
+            .map(|&m| {
+                velocities
+                    .iter()
+                    .map(|&v| 1.8 * m * v * v / (2.0 * spec::TARGET_STOP_M) + 30_000.0)
+                    .collect()
+            })
+            .collect();
+        FmaxTable::new(masses, velocities, limits)
+    }
+
+    /// `Fmax(m, v)` by bilinear interpolation, linearly extrapolated
+    /// outside the grid.
+    pub fn limit_n(&self, mass_kg: f64, velocity_ms: f64) -> f64 {
+        let (i, tm) = segment(&self.masses_kg, mass_kg);
+        let (j, tv) = segment(&self.velocities_ms, velocity_ms);
+        let f = |a: usize, b: usize| self.limits_n[a][b];
+        let lo = f(i, j) + (f(i, j + 1) - f(i, j)) * tv;
+        let hi = f(i + 1, j) + (f(i + 1, j + 1) - f(i + 1, j)) * tv;
+        lo + (hi - lo) * tm
+    }
+}
+
+impl Default for FmaxTable {
+    fn default() -> Self {
+        FmaxTable::specification()
+    }
+}
+
+/// Finds the segment index and (possibly out-of-[0,1]) interpolation
+/// parameter for `x` along the sorted axis — out-of-range parameters
+/// produce linear extrapolation.
+fn segment(axis: &[f64], x: f64) -> (usize, f64) {
+    let last = axis.len() - 2;
+    let mut i = 0;
+    while i < last && x > axis[i + 1] {
+        i += 1;
+    }
+    let t = (x - axis[i]) / (axis[i + 1] - axis[i]);
+    (i, t)
+}
+
+/// The three constraints with their limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraints {
+    /// Retardation limit in g (paper: 2.8).
+    pub retardation_limit_g: f64,
+    /// Runway length in metres (paper: 335).
+    pub runway_m: f64,
+    /// The `Fmax` surface.
+    pub fmax: FmaxTable,
+}
+
+impl Default for Constraints {
+    fn default() -> Self {
+        Constraints {
+            retardation_limit_g: spec::RETARDATION_LIMIT_G,
+            runway_m: spec::RUNWAY_M,
+            fmax: FmaxTable::specification(),
+        }
+    }
+}
+
+/// Which constraint a failed run violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// Constraint 1: retardation reached or exceeded the g limit.
+    Retardation,
+    /// Constraint 2: cable force reached or exceeded `Fmax(m, v)`.
+    Force,
+    /// Constraint 3: the aircraft passed the runway end, or was still
+    /// rolling when the observation window closed.
+    Overrun,
+}
+
+/// The classification of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Violated constraints (empty = the arrestment succeeded).
+    pub causes: Vec<FailureCause>,
+    /// Peak retardation observed, g.
+    pub peak_retardation_g: f64,
+    /// Peak cable force observed, N.
+    pub peak_force_n: f64,
+    /// Final distance, m.
+    pub final_distance_m: f64,
+    /// Whether the aircraft came to a stop within the window.
+    pub arrested: bool,
+}
+
+impl Verdict {
+    /// Whether the run counts as a failure.
+    pub fn failed(&self) -> bool {
+        !self.causes.is_empty()
+    }
+}
+
+/// Accumulates plant states over a run and classifies it at the end.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureMonitor {
+    peak_retardation_ms2: f64,
+    peak_force_n: f64,
+    max_distance_m: f64,
+    arrested: bool,
+}
+
+impl FailureMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        FailureMonitor::default()
+    }
+
+    /// Feeds one plant state (call once per simulation step).
+    pub fn observe(&mut self, state: &PlantState) {
+        if state.retardation_ms2 > self.peak_retardation_ms2 {
+            self.peak_retardation_ms2 = state.retardation_ms2;
+        }
+        if state.cable_force_n > self.peak_force_n {
+            self.peak_force_n = state.cable_force_n;
+        }
+        if state.distance_m > self.max_distance_m {
+            self.max_distance_m = state.distance_m;
+        }
+        self.arrested |= state.arrested;
+    }
+
+    /// Classifies the run against the constraints for the given case.
+    pub fn verdict(&self, constraints: &Constraints, case: TestCase) -> Verdict {
+        let mut causes = Vec::new();
+        let peak_g = self.peak_retardation_ms2 / spec::G;
+        if peak_g >= constraints.retardation_limit_g {
+            causes.push(FailureCause::Retardation);
+        }
+        let fmax = constraints.fmax.limit_n(case.mass_kg, case.velocity_ms);
+        if self.peak_force_n >= fmax {
+            causes.push(FailureCause::Force);
+        }
+        if self.max_distance_m >= constraints.runway_m || !self.arrested {
+            causes.push(FailureCause::Overrun);
+        }
+        Verdict {
+            causes,
+            peak_retardation_g: peak_g,
+            peak_force_n: self.peak_force_n,
+            final_distance_m: self.max_distance_m,
+            arrested: self.arrested,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(
+        retardation_ms2: f64,
+        force_n: f64,
+        distance_m: f64,
+        arrested: bool,
+    ) -> PlantState {
+        PlantState {
+            time_ms: 0,
+            distance_m,
+            velocity_ms: if arrested { 0.0 } else { 10.0 },
+            retardation_ms2,
+            cable_force_n: force_n,
+            pressure_master_bar: 0.0,
+            pressure_slave_bar: 0.0,
+            arrested,
+        }
+    }
+
+    #[test]
+    fn fmax_at_grid_points_is_exact() {
+        let table = FmaxTable::specification();
+        let expected = 1.8 * 8_000.0 * 40.0 * 40.0 / (2.0 * spec::TARGET_STOP_M) + 30_000.0;
+        assert!((table.limit_n(8_000.0, 40.0) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fmax_interpolates_between_points() {
+        let table = FmaxTable::specification();
+        let mid = table.limit_n(9_500.0, 43.75);
+        let corners = [
+            table.limit_n(8_000.0, 40.0),
+            table.limit_n(11_000.0, 47.5),
+        ];
+        assert!(mid > corners[0].min(corners[1]));
+        assert!(mid < corners[0].max(corners[1]));
+    }
+
+    #[test]
+    fn fmax_extrapolates_outside_grid() {
+        let table = FmaxTable::specification();
+        // Beyond the top corner the surface keeps growing.
+        assert!(table.limit_n(25_000.0, 80.0) > table.limit_n(20_000.0, 70.0));
+        // Below the bottom corner it keeps shrinking.
+        assert!(table.limit_n(5_000.0, 30.0) < table.limit_n(8_000.0, 40.0));
+    }
+
+    #[test]
+    fn fmax_is_monotone_over_the_envelope() {
+        let table = FmaxTable::specification();
+        let mut prev = 0.0;
+        for k in 0..=24 {
+            let m = 8_000.0 + 500.0 * f64::from(k);
+            let v = 40.0 + 1.25 * f64::from(k);
+            let f = table.limit_n(m, v);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let mut mon = FailureMonitor::new();
+        mon.observe(&state(8.0, 100_000.0, 150.0, false));
+        mon.observe(&state(0.0, 0.0, 290.0, true));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(14_000.0, 55.0));
+        assert!(!verdict.failed(), "causes: {:?}", verdict.causes);
+        assert!(verdict.arrested);
+    }
+
+    #[test]
+    fn retardation_violation_detected() {
+        let mut mon = FailureMonitor::new();
+        mon.observe(&state(3.0 * spec::G, 10_000.0, 50.0, false));
+        mon.observe(&state(0.0, 0.0, 100.0, true));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(8_000.0, 40.0));
+        assert!(verdict.causes.contains(&FailureCause::Retardation));
+        assert!(verdict.peak_retardation_g > 2.8);
+    }
+
+    #[test]
+    fn force_violation_detected() {
+        let mut mon = FailureMonitor::new();
+        // 8 t at 40 m/s: Fmax ≈ 71 kN; 300 kN exceeds it clearly.
+        mon.observe(&state(5.0, 300_000.0, 50.0, false));
+        mon.observe(&state(0.0, 0.0, 100.0, true));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(8_000.0, 40.0));
+        assert!(verdict.causes.contains(&FailureCause::Force));
+    }
+
+    #[test]
+    fn overrun_detected() {
+        let mut mon = FailureMonitor::new();
+        mon.observe(&state(1.0, 10_000.0, 340.0, false));
+        mon.observe(&state(0.0, 0.0, 341.0, true));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(14_000.0, 55.0));
+        assert!(verdict.causes.contains(&FailureCause::Overrun));
+    }
+
+    #[test]
+    fn never_stopping_is_an_overrun() {
+        let mut mon = FailureMonitor::new();
+        mon.observe(&state(0.1, 1_000.0, 200.0, false));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(14_000.0, 55.0));
+        assert!(verdict.causes.contains(&FailureCause::Overrun));
+        assert!(!verdict.arrested);
+    }
+
+    #[test]
+    fn multiple_causes_accumulate() {
+        let mut mon = FailureMonitor::new();
+        mon.observe(&state(4.0 * spec::G, 400_000.0, 400.0, false));
+        let verdict = mon.verdict(&Constraints::default(), TestCase::new(8_000.0, 40.0));
+        assert_eq!(verdict.causes.len(), 3);
+    }
+}

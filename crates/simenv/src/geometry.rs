@@ -1,0 +1,108 @@
+//! Cable geometry: payout length and pull angle as the aircraft travels.
+//!
+//! The cable is strapped between two drums offset `a` metres laterally
+//! from the centreline. With the hook at distance `x` down the runway,
+//! each half of the cable has length `√(x² + a²)`, so the tape paid out
+//! per drum is `L(x) = √(x² + a²) − a`, and the component of cable
+//! tension retarding the aircraft is `cosθ = x / √(x² + a²)` per side.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of the cable rig.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CableGeometry {
+    /// Lateral drum offset `a`, metres.
+    pub drum_offset_m: f64,
+}
+
+impl CableGeometry {
+    /// Geometry with the given drum offset.
+    pub const fn new(drum_offset_m: f64) -> Self {
+        CableGeometry { drum_offset_m }
+    }
+
+    /// Tape paid out per drum at aircraft distance `x`, metres.
+    pub fn payout_m(&self, x: f64) -> f64 {
+        let a = self.drum_offset_m;
+        (x * x + a * a).sqrt() - a
+    }
+
+    /// `cosθ`: fraction of per-side tension acting against the aircraft.
+    pub fn cos_theta(&self, x: f64) -> f64 {
+        let a = self.drum_offset_m;
+        let hyp = (x * x + a * a).sqrt();
+        if hyp == 0.0 {
+            0.0
+        } else {
+            x / hyp
+        }
+    }
+
+    /// Inverse of [`payout_m`](Self::payout_m): aircraft distance for a
+    /// given per-drum payout (used by the controller to reconstruct `x`
+    /// from the pulse count).
+    pub fn distance_for_payout(&self, payout: f64) -> f64 {
+        let a = self.drum_offset_m;
+        let hyp = payout + a;
+        (hyp * hyp - a * a).max(0.0).sqrt()
+    }
+
+    /// Tape payout speed per drum for aircraft speed `v` at distance `x`.
+    pub fn payout_speed(&self, x: f64, v: f64) -> f64 {
+        self.cos_theta(x) * v
+    }
+}
+
+impl Default for CableGeometry {
+    fn default() -> Self {
+        CableGeometry::new(crate::spec::DRUM_OFFSET_M)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn payout_zero_at_engagement() {
+        let g = CableGeometry::new(30.0);
+        assert!(g.payout_m(0.0).abs() < EPS);
+    }
+
+    #[test]
+    fn payout_3_4_5_triangle() {
+        let g = CableGeometry::new(30.0);
+        // x = 40: hyp = 50, payout = 20.
+        assert!((g.payout_m(40.0) - 20.0).abs() < EPS);
+        assert!((g.cos_theta(40.0) - 0.8).abs() < EPS);
+    }
+
+    #[test]
+    fn cos_theta_limits() {
+        let g = CableGeometry::new(30.0);
+        assert!(g.cos_theta(0.0).abs() < EPS);
+        assert!(g.cos_theta(10_000.0) > 0.999);
+        // Monotone increasing in x.
+        assert!(g.cos_theta(50.0) > g.cos_theta(20.0));
+    }
+
+    #[test]
+    fn distance_payout_round_trip() {
+        let g = CableGeometry::new(30.0);
+        for x in [0.0, 1.0, 40.0, 123.4, 335.0] {
+            let payout = g.payout_m(x);
+            let back = g.distance_for_payout(payout);
+            assert!((back - x).abs() < 1e-6, "x = {x}, back = {back}");
+        }
+    }
+
+    #[test]
+    fn payout_speed_is_scaled_velocity() {
+        let g = CableGeometry::new(30.0);
+        let v = 60.0;
+        assert!((g.payout_speed(40.0, v) - 0.8 * v).abs() < EPS);
+        assert!(g.payout_speed(0.0, v).abs() < EPS);
+    }
+}

@@ -1,0 +1,110 @@
+//! Physical constants of the simulated arresting gear.
+//!
+//! The values are plausible for a BAK-12-class rotary-friction system and
+//! are calibrated so that every fault-free run over the paper's test-case
+//! envelope satisfies the failure constraints with margin (the paper
+//! requires that fault-free runs trigger no detection and no failure),
+//! while corrupted pressure commands can violate them.
+
+/// Integration step of the environment simulator, seconds (1 ms — the
+/// target's base tick).
+pub const DT_S: f64 = 0.001;
+
+/// Standard gravity, m/s².
+pub const G: f64 = 9.806_65;
+
+/// Lateral offset of each tape drum from the runway centreline, metres.
+/// The cable is strapped across the runway between the two drums.
+pub const DRUM_OFFSET_M: f64 = 30.0;
+
+/// Tape payout per rotation-sensor pulse, metres. The tooth wheel on the
+/// master drum generates 20 pulses per metre of tape.
+pub const METERS_PER_PULSE: f64 = 0.05;
+
+/// Brake tension produced per bar of applied valve pressure, newtons.
+/// `T = K_T · P` per drum.
+pub const TENSION_N_PER_BAR: f64 = 1_000.0;
+
+/// Hydraulic first-order time constant, seconds: the valve pressure
+/// follows the commanded pressure as `dP/dt = (cmd − P)/τ`.
+pub const VALVE_TAU_S: f64 = 0.15;
+
+/// Physical ceiling of the hydraulic system, bar.
+pub const PRESSURE_MAX_BAR: f64 = 200.0;
+
+/// Software operational ceiling for commanded pressure, bar. CALC never
+/// commands more than this; the 50-bar headroom to
+/// [`PRESSURE_MAX_BAR`] is what corrupted commands can exploit.
+pub const PRESSURE_CEILING_BAR: f64 = 150.0;
+
+/// Rolling resistance of the engaged aircraft, newtons (tyres, hook
+/// drag); small but keeps the no-brake trajectory realistic.
+pub const ROLLING_RESIST_N: f64 = 2_000.0;
+
+/// Software pressure unit: signal values are 16-bit in units of 0.01 bar
+/// (`20000` = 200 bar).
+pub const PRESSURE_UNITS_PER_BAR: f64 = 100.0;
+
+/// Length of usable runway from the engagement point, metres. Stopping
+/// beyond this is a failure.
+pub const RUNWAY_M: f64 = 335.0;
+
+/// Retardation limit, in g (paper: `r < 2.8 g`).
+pub const RETARDATION_LIMIT_G: f64 = 2.8;
+
+/// The controller's target stopping distance, metres; the ~55 m margin
+/// to [`RUNWAY_M`] absorbs model and estimation error.
+pub const TARGET_STOP_M: f64 = 280.0;
+
+/// Pre-tension pressure applied before the first checkpoint, bar (takes
+/// up cable slack without jerking the airframe).
+pub const PRETENSION_BAR: f64 = 10.0;
+
+/// Observation window of one experiment run, milliseconds (paper
+/// Section 3.4: 40 seconds).
+pub const OBSERVATION_MS: u64 = 40_000;
+
+/// Injection period of the campaign, milliseconds (paper Section 3.4).
+pub const INJECTION_PERIOD_MS: u64 = 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_units_fit_sixteen_bits() {
+        let max_units = PRESSURE_MAX_BAR * PRESSURE_UNITS_PER_BAR;
+        assert!(max_units <= f64::from(u16::MAX));
+    }
+
+    #[test]
+    fn pulse_count_fits_sixteen_bits() {
+        // Maximum payout: aircraft at the runway end.
+        let x: f64 = RUNWAY_M;
+        let payout = (x * x + DRUM_OFFSET_M * DRUM_OFFSET_M).sqrt() - DRUM_OFFSET_M;
+        let pulses = payout / METERS_PER_PULSE;
+        assert!(pulses <= f64::from(u16::MAX));
+    }
+
+    #[test]
+    fn worst_case_is_stoppable_within_target() {
+        // Heaviest, fastest case: the required average force over the
+        // target distance must be achievable below the software ceiling.
+        let m = 20_000.0;
+        let v: f64 = 70.0;
+        let needed_force = m * v * v / (2.0 * TARGET_STOP_M);
+        // cos(theta) at mid-runway is ≥ 0.95.
+        let available = 2.0 * TENSION_N_PER_BAR * PRESSURE_CEILING_BAR * 0.95;
+        assert!(
+            available > needed_force * 1.1,
+            "available {available} vs needed {needed_force}"
+        );
+    }
+
+    #[test]
+    fn nominal_retardation_far_below_limit() {
+        let v: f64 = 70.0;
+        let a = v * v / (2.0 * TARGET_STOP_M);
+        assert!(a / G < RETARDATION_LIMIT_G / 2.0);
+    }
+}

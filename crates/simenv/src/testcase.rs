@@ -1,0 +1,160 @@
+//! Test cases: incoming aircraft of varying mass and engagement velocity.
+//!
+//! Paper Section 3.4: "For each error in the error set, the system was
+//! subjected to 25 test cases, i.e. incoming aircraft, with velocity
+//! ranging uniformly from 40 m/s to 70 m/s, and mass ranging uniformly
+//! from 8000 kg to 20000 kg." We realise "uniformly ranging" as the
+//! deterministic 5 × 5 grid over that envelope, so every experiment is
+//! exactly reproducible.
+
+use serde::{Deserialize, Serialize};
+
+/// One incoming aircraft.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Aircraft mass, kg.
+    pub mass_kg: f64,
+    /// Engagement velocity, m/s.
+    pub velocity_ms: f64,
+}
+
+impl TestCase {
+    /// Creates a test case.
+    pub const fn new(mass_kg: f64, velocity_ms: f64) -> Self {
+        TestCase {
+            mass_kg,
+            velocity_ms,
+        }
+    }
+
+    /// Kinetic energy at engagement, joules.
+    pub fn kinetic_energy_j(&self) -> f64 {
+        0.5 * self.mass_kg * self.velocity_ms * self.velocity_ms
+    }
+}
+
+/// The paper's mass/velocity envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestCaseGrid {
+    /// Minimum mass, kg.
+    pub mass_min: f64,
+    /// Maximum mass, kg.
+    pub mass_max: f64,
+    /// Minimum velocity, m/s.
+    pub velocity_min: f64,
+    /// Maximum velocity, m/s.
+    pub velocity_max: f64,
+    /// Grid points per axis.
+    pub points_per_axis: usize,
+}
+
+impl TestCaseGrid {
+    /// The paper's envelope: m ∈ [8000, 20000] kg, v ∈ [40, 70] m/s,
+    /// 5 × 5 = 25 cases.
+    pub const fn paper() -> Self {
+        TestCaseGrid {
+            mass_min: 8_000.0,
+            mass_max: 20_000.0,
+            velocity_min: 40.0,
+            velocity_max: 70.0,
+            points_per_axis: 5,
+        }
+    }
+
+    /// A smaller grid for quick tests (`n × n` cases).
+    pub const fn coarse(n: usize) -> Self {
+        TestCaseGrid {
+            mass_min: 8_000.0,
+            mass_max: 20_000.0,
+            velocity_min: 40.0,
+            velocity_max: 70.0,
+            points_per_axis: n,
+        }
+    }
+
+    /// Number of cases in the grid.
+    pub const fn len(&self) -> usize {
+        self.points_per_axis * self.points_per_axis
+    }
+
+    /// Whether the grid is empty.
+    pub const fn is_empty(&self) -> bool {
+        self.points_per_axis == 0
+    }
+
+    /// The cases, mass-major.
+    pub fn cases(&self) -> Vec<TestCase> {
+        let n = self.points_per_axis;
+        let mut cases = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let frac = |k: usize| {
+                    if n == 1 {
+                        0.5
+                    } else {
+                        k as f64 / (n - 1) as f64
+                    }
+                };
+                cases.push(TestCase::new(
+                    self.mass_min + (self.mass_max - self.mass_min) * frac(i),
+                    self.velocity_min + (self.velocity_max - self.velocity_min) * frac(j),
+                ));
+            }
+        }
+        cases
+    }
+}
+
+impl Default for TestCaseGrid {
+    fn default() -> Self {
+        TestCaseGrid::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_has_25_cases_covering_the_envelope() {
+        let grid = TestCaseGrid::paper();
+        let cases = grid.cases();
+        assert_eq!(cases.len(), 25);
+        assert_eq!(grid.len(), 25);
+        let first = cases.first().unwrap();
+        let last = cases.last().unwrap();
+        assert_eq!(first.mass_kg, 8_000.0);
+        assert_eq!(first.velocity_ms, 40.0);
+        assert_eq!(last.mass_kg, 20_000.0);
+        assert_eq!(last.velocity_ms, 70.0);
+        for case in &cases {
+            assert!((8_000.0..=20_000.0).contains(&case.mass_kg));
+            assert!((40.0..=70.0).contains(&case.velocity_ms));
+        }
+    }
+
+    #[test]
+    fn single_point_grid_takes_midpoint() {
+        let grid = TestCaseGrid::coarse(1);
+        let cases = grid.cases();
+        assert_eq!(cases.len(), 1);
+        assert_eq!(cases[0].mass_kg, 14_000.0);
+        assert_eq!(cases[0].velocity_ms, 55.0);
+    }
+
+    #[test]
+    fn kinetic_energy() {
+        let case = TestCase::new(10_000.0, 50.0);
+        assert_eq!(case.kinetic_energy_j(), 12_500_000.0);
+    }
+
+    #[test]
+    fn grid_cases_are_distinct() {
+        let cases = TestCaseGrid::paper().cases();
+        for (i, a) in cases.iter().enumerate() {
+            for b in &cases[i + 1..] {
+                assert!(a.mass_kg != b.mass_kg || a.velocity_ms != b.velocity_ms);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A miniature fault-injection campaign, end to end: build the error
+//! sets, run a handful of trials under a scaled protocol, and print the
+//! per-mechanism outcome — the same machinery the `table7`/`table9`
+//! binaries use at full scale.
+//!
+//! ```sh
+//! cargo run --release --example injection_walkthrough
+//! ```
+
+use ea_repro::fic::{error_set, run_trial, Protocol};
+use ea_repro::arrestor::{EaId, EaSet};
+use ea_repro::simenv::TestCase;
+
+fn main() {
+    let protocol = Protocol::scaled(1, 15_000); // one mid-envelope case, 15 s window
+    let case = TestCase::new(14_000.0, 55.0);
+
+    println!("E1 errors (bit flips in monitored signals):");
+    let e1 = error_set::e1();
+    // One error per signal: its MSB flip.
+    for ea in EaId::ALL {
+        let error = e1
+            .iter()
+            .find(|e| e.ea == ea && e.signal_bit == 15)
+            .expect("every signal has 16 bit errors");
+        let trial = run_trial(&protocol, error.flip, case);
+        let own = trial.per_ea_first_ms[ea.index()];
+        let any = trial.first_detection(EaSet::ALL);
+        println!(
+            "  S{:<3} {:<12} bit 15: own EA first at {:>6} ms, any at {:>6} ms, failed={}",
+            error.number,
+            error.signal_name(),
+            own.map_or("-".into(), |t| t.to_string()),
+            any.map_or("-".into(), |t| t.to_string()),
+            trial.failed,
+        );
+    }
+
+    println!("\nE2 errors (random RAM/stack flips), first five:");
+    for error in error_set::e2().iter().take(5) {
+        let trial = run_trial(&protocol, error.flip, case);
+        println!(
+            "  #{:<3} {:<18} detected={} failed={} distance={:.0} m",
+            error.number,
+            error.flip.to_string(),
+            trial.detected(EaSet::ALL),
+            trial.failed,
+            trial.final_distance_m,
+        );
+    }
+    println!("\n(see `cargo run --release -p fic --bin full_campaign` for the paper-scale run)");
+}

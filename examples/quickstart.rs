@@ -1,0 +1,54 @@
+//! Quickstart: classify a signal, build an executable assertion from
+//! parameters alone, and detect injected data errors.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ea_repro::ea_core::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // 1. Classify: a coolant-temperature sensor reads in tenths of a
+    //    degree, 0..=1200 (0–120 °C), and its thermal time constant
+    //    bounds the change to 15 units per 10 ms sample.
+    let params = ContinuousParams::builder(0, 1_200)
+        .increase_rate(0, 15)
+        .decrease_rate(0, 15)
+        .build()?;
+    println!("coolant_temp classified as {}", params.classify());
+
+    // 2. Instantiate the generic test algorithm with the parameters —
+    //    no application-specific code.
+    let mut monitor = SignalMonitor::continuous("coolant_temp", params)
+        .with_recovery(RecoveryStrategy::HoldPrevious);
+
+    // 3. Feed a healthy warm-up trajectory.
+    let mut value: Sample = 200;
+    for step in 0..50 {
+        value += (step % 3) * 5; // gentle, in-band warm-up
+        assert!(monitor.check(value).is_ok());
+    }
+    println!(
+        "healthy trajectory: {} checks, 0 violations",
+        monitor.checks()
+    );
+
+    // 4. A cosmic ray flips bit 12 of the sensor word.
+    let corrupted = value ^ (1 << 12);
+    match monitor.check(corrupted) {
+        Err(violation) => println!(
+            "detected: {violation} -> recovered to {}",
+            monitor.last_committed().expect("history exists")
+        ),
+        Ok(_) => unreachable!("a 4096-unit jump violates the rate bound"),
+    }
+
+    // 5. The monitor keeps working from the recovered value.
+    assert!(monitor.check(value + 10).is_ok());
+    println!(
+        "after recovery: {} checks, {} violation(s) total",
+        monitor.checks(),
+        monitor.violations()
+    );
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Monitoring a state machine as a non-linear sequential discrete
+//! signal — the paper's Figure 3 example, extended with modes.
+//!
+//! ```sh
+//! cargo run --example state_machine
+//! ```
+
+use ea_repro::ea_core::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // The paper's five-state machine: T(v1)={v2,v4}, T(v2)={v3,v4},
+    // T(v3)={v4}, T(v4)={v5}, T(v5)={v1}. Sampled faster than it
+    // changes, so self-loops are legal.
+    let graph = DiscreteParams::non_linear([
+        (1, vec![2, 4]),
+        (2, vec![3, 4]),
+        (3, vec![4]),
+        (4, vec![5]),
+        (5, vec![1]),
+    ])?
+    .with_self_loops();
+    println!("state variable classified as {}", graph.classify());
+
+    let mut monitor = SignalMonitor::discrete("op_state", graph);
+
+    // A legal walk (with repeats, as a 10 ms sampler would see it).
+    for state in [1, 1, 2, 2, 2, 4, 5, 5, 1, 2, 3, 4, 5, 1] {
+        monitor.check(state).map_err(|v| {
+            eprintln!("unexpected violation: {v}");
+            Error::EmptyDomain
+        })?;
+    }
+    println!("legal walk: {} checks passed", monitor.checks());
+
+    // A bit flip turns state 1 into state 3: v1 -> v3 is not in T(v1).
+    let violation = monitor
+        .check(3)
+        .expect_err("v1 -> v3 must be an illegal transition");
+    println!("illegal jump detected: {violation}");
+
+    // A flip to a value outside the domain entirely.
+    let violation = monitor
+        .check(9)
+        .expect_err("9 is outside the valid domain");
+    println!("outside domain detected: {violation}");
+
+    // Mode variables are discrete signals themselves (paper §2.1): build
+    // the mode variable's own assertion from the mode set.
+    let fast = ContinuousParams::builder(0, 100)
+        .increase_rate(0, 50)
+        .decrease_rate(0, 50)
+        .build()?;
+    let slow = ContinuousParams::builder(0, 100)
+        .increase_rate(0, 5)
+        .decrease_rate(0, 5)
+        .build()?;
+    let moded = ModedParams::new(0, slow).with(1, fast);
+    let mode_params = moded.mode_variable_params();
+    println!(
+        "mode variable guards its own domain: {:?}",
+        mode_params.domain()
+    );
+    let mut mode_monitor = SignalMonitor::discrete("mode", mode_params);
+    mode_monitor.check(0).expect("mode 0 is valid");
+    mode_monitor.check(1).expect("mode 1 is valid");
+    assert!(mode_monitor.check(7).is_err()); // corrupted mode id
+    println!("corrupted mode id detected");
+    Ok(())
+}

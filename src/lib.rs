@@ -1,0 +1,41 @@
+//! Umbrella crate for the reproduction of Hiller, *Executable Assertions for
+//! Detecting Data Errors in Embedded Control Systems* (DSN 2000).
+//!
+//! This crate re-exports the workspace members so that the examples and
+//! integration tests in the repository root can exercise the whole system
+//! through one dependency:
+//!
+//! - [`ea_core`] — the paper's contribution: the signal classification scheme
+//!   and the generic, parameterised executable assertions (Sections 2.1–2.4).
+//! - [`memsim`] — the simulated target memory (application RAM and stack)
+//!   into which SWIFI bit flips are injected (Section 3.3).
+//! - [`simenv`] — the environment simulator: aircraft, cable, tape drums,
+//!   hydraulics, sensors and the failure classifier (Section 3.1/3.3).
+//! - [`arrestor`] — the embedded control software of the aircraft-arresting
+//!   system (CLOCK, DIST_S, CALC, PRES_S, V_REG, PRES_A) and its
+//!   instrumentation with the seven executable assertions (Table 4).
+//! - [`fic`] — the FIC3-style fault-injection campaign controller, error sets
+//!   E1/E2 and the generators for Tables 6–9 (Sections 3.4–4).
+//!
+//! # Example
+//!
+//! ```
+//! use ea_repro::ea_core::prelude::*;
+//!
+//! // Monitor a temperature-like continuous random signal.
+//! let params = ContinuousParams::builder(0, 1000)
+//!     .increase_rate(0, 30)
+//!     .decrease_rate(0, 30)
+//!     .build()?;
+//! let mut monitor = SignalMonitor::continuous("temp", params);
+//! assert!(monitor.check(500).is_ok());
+//! assert!(monitor.check(520).is_ok());
+//! assert!(monitor.check(900).is_err()); // rate violation
+//! # Ok::<(), ea_repro::ea_core::Error>(())
+//! ```
+
+pub use arrestor;
+pub use ea_core;
+pub use fic;
+pub use memsim;
+pub use simenv;

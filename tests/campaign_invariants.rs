@@ -1,0 +1,102 @@
+//! Invariants of campaign aggregation, checked on scaled-down but real
+//! campaigns (real plant, real software, real injections).
+
+use ea_repro::arrestor::EaId;
+use ea_repro::fic::{error_set, CampaignRunner, Protocol};
+
+fn scaled_runner() -> CampaignRunner {
+    CampaignRunner::new(Protocol::scaled(2, 8_000))
+}
+
+#[test]
+fn table7_consistency_invariants() {
+    let errors = error_set::e1();
+    // Two errors per signal (LSB and MSB) keeps the run fast but covers
+    // every row.
+    let subset: Vec<_> = errors
+        .iter()
+        .filter(|e| e.signal_bit == 0 || e.signal_bit == 15)
+        .copied()
+        .collect();
+    let report = scaled_runner().run_e1(&subset);
+    assert_eq!(report.trials(), subset.len() * 4);
+
+    for row in report.rows.iter().chain(std::iter::once(&report.totals)) {
+        let all_col = &row.cells[7];
+        for (v, cell) in row.cells.iter().enumerate() {
+            // nd <= ne everywhere.
+            assert!(cell.all.detected() <= cell.all.total());
+            // fail + no-fail partitions every trial.
+            assert_eq!(
+                cell.fail.total() + cell.no_fail.total(),
+                cell.all.total()
+            );
+            assert_eq!(
+                cell.fail.detected() + cell.no_fail.detected(),
+                cell.all.detected()
+            );
+            // The All column dominates every singleton column.
+            if v < 7 {
+                assert!(all_col.all.detected() >= cell.all.detected());
+            }
+            // Latency count equals the number of detected runs.
+            assert_eq!(cell.latency.count(), cell.all.detected());
+        }
+    }
+}
+
+#[test]
+fn e1_direct_mechanism_dominates_for_counter_signals() {
+    let errors = error_set::e1();
+    let mscnt_errors: Vec<_> = errors
+        .iter()
+        .filter(|e| e.ea == EaId::Ea6)
+        .copied()
+        .collect();
+    let report = scaled_runner().run_e1(&mscnt_errors);
+    let row = &report.rows[EaId::Ea6.index()];
+    // Every mscnt bit error is caught by EA6 (the paper's 100 % row).
+    assert_eq!(
+        row.cells[EaId::Ea6.index()].all.detected(),
+        row.cells[EaId::Ea6.index()].all.total()
+    );
+}
+
+#[test]
+fn e2_reports_partition_by_region() {
+    let errors = error_set::e2();
+    let subset: Vec<_> = errors.iter().step_by(20).copied().collect();
+    let report = scaled_runner().run_e2(&subset);
+    assert_eq!(
+        report.ram.all.total() + report.stack.all.total(),
+        report.total.all.total()
+    );
+    assert_eq!(
+        report.ram.all.detected() + report.stack.all.detected(),
+        report.total.all.detected()
+    );
+}
+
+#[test]
+fn campaigns_are_deterministic() {
+    let errors = error_set::e1();
+    let subset = &errors[64..68]; // four ms_slot_nbr errors
+    let a = scaled_runner().run_e1(subset);
+    let b = scaled_runner().run_e1(subset);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn golden_validation_passes_scaled_grid() {
+    let protocol = Protocol::scaled(2, 40_000);
+    ea_repro::fic::golden::validate_fault_free(&protocol).expect("clean golden runs");
+}
+
+#[test]
+fn serde_round_trip_of_reports() {
+    let errors = error_set::e1();
+    let report = scaled_runner().run_e1(&errors[80..82]);
+    let json = serde_json::to_string(&report).expect("serialise");
+    let back: ea_repro::fic::E1Report = serde_json::from_str(&json).expect("deserialise");
+    assert_eq!(report, back);
+}

@@ -1,0 +1,115 @@
+//! Integration tests of the extensions beyond the paper's evaluation:
+//! recovery write-back, rate-bound calibration, dynamic constraints and
+//! the §2.4 coverage inversion.
+
+use ea_repro::arrestor::{EaId, RunConfig, System};
+use ea_repro::ea_core::prelude::*;
+use ea_repro::fic::{calibration, error_set, recovery_study, Protocol};
+use ea_repro::memsim::{BitFlip, Region};
+use ea_repro::simenv::TestCase;
+
+fn set_value_msb_flip() -> BitFlip {
+    let node = ea_repro::arrestor::MasterNode::new(120, ea_repro::arrestor::EaSet::ALL);
+    let addr = node.signals().set_value.addr();
+    BitFlip::new(Region::AppRam, addr + 1, 7)
+}
+
+#[test]
+fn recovery_write_back_saves_the_arrestment() {
+    let case = TestCase::new(8_000.0, 40.0);
+    let flip = set_value_msb_flip();
+    let mut outcomes = Vec::new();
+    for recovery in [None, Some(RecoveryStrategy::HoldPrevious)] {
+        let config = RunConfig {
+            recovery,
+            observation_ms: 25_000,
+            ..RunConfig::default()
+        };
+        let mut system = System::new(case, config);
+        while system.time_ms() < 25_000 {
+            if system.time_ms() > 0 && system.time_ms() % 20 == 0 {
+                system.inject(flip);
+            }
+            system.tick();
+        }
+        outcomes.push(system.finish());
+    }
+    assert!(
+        outcomes[0].verdict.failed(),
+        "detection-only run must fail under a persistent MSB error"
+    );
+    assert!(
+        !outcomes[1].verdict.failed(),
+        "write-back must keep the arrestment within constraints: {:?}",
+        outcomes[1].verdict
+    );
+    // Both configurations detect.
+    assert!(!outcomes[0].detections.is_empty());
+    assert!(!outcomes[1].detections.is_empty());
+}
+
+#[test]
+fn recovery_study_shapes() {
+    let protocol = Protocol::scaled(1, 15_000);
+    let errors: Vec<_> = error_set::e1()
+        .into_iter()
+        .filter(|e| e.ea == EaId::Ea1 && e.signal_bit >= 14)
+        .collect();
+    let study = recovery_study::run_study(&protocol, &errors);
+    assert!(study.hold_previous.failures <= study.detection_only.failures);
+    assert_eq!(study.detection_only.runs, study.hold_previous.runs);
+}
+
+#[test]
+fn calibration_loose_bounds_lose_coverage() {
+    let protocol = Protocol::scaled(1, 10_000);
+    let errors: Vec<_> = error_set::e1()
+        .into_iter()
+        .filter(|e| e.ea == EaId::Ea1 && (10..=12).contains(&e.signal_bit))
+        .collect();
+    let points = calibration::sweep(&protocol, &errors, &[100, 800]);
+    assert!(points[0].clean());
+    assert!(points[1].clean());
+    assert!(points[0].detected_runs >= points[1].detected_runs);
+}
+
+#[test]
+fn dynamic_constraint_catches_what_static_misses_on_is_value() {
+    // A physics-aware dynamic profile for IsValue: near the hydraulic
+    // ceiling the pressure can only creep, so mid-size corruption high
+    // up becomes detectable.
+    let static_params = ea_repro::arrestor::instrument::ea2_is_value();
+    let profile = RateProfile::new([(0, 1_000), (20_000, 40)]).expect("valid profile");
+    let dynamic = DynamicParams::new(static_params)
+        .with_increase_profile(profile.clone())
+        .with_decrease_profile(profile);
+    // At 18 000 pu the valve can move only ~140 pu per test; a +512
+    // (bit 9) corruption passes the static band but not the dynamic.
+    assert!(
+        ea_repro::ea_core::assert_cont::check(&static_params, Some(18_000), 18_512).is_ok()
+    );
+    assert!(dynamic.check(Some(18_000), 18_512).is_err());
+    // And legitimate behaviour low in the range still passes both.
+    assert!(dynamic.check(Some(2_000), 2_800).is_ok());
+}
+
+#[test]
+fn coverage_inversion_is_consistent_on_real_campaign_data() {
+    let runner = ea_repro::fic::CampaignRunner::new(Protocol::scaled(2, 10_000));
+    let e1_subset: Vec<_> = error_set::e1()
+        .into_iter()
+        .filter(|e| e.signal_bit % 4 == 3)
+        .collect();
+    let e1 = runner.run_e1(&e1_subset);
+    let e2_subset: Vec<_> = error_set::e2().into_iter().step_by(5).collect();
+    let e2 = runner.run_e2(&e2_subset);
+    let analysis =
+        ea_repro::fic::coverage_report::analyse(&e1, &e2).expect("non-empty campaigns");
+    // Pem is a memory-map fact.
+    assert!((analysis.p_em - 14.0 / 417.0).abs() < 1e-12);
+    // If Pprop could be inferred, the algebra must reproduce Pdetect.
+    if let Some(p_prop) = analysis.p_prop {
+        let model = CoverageModel::new(analysis.p_em, p_prop, analysis.p_ds).unwrap();
+        assert!((model.p_detect() - analysis.p_detect_ram).abs() < 1e-9);
+    }
+}
