@@ -148,7 +148,10 @@ mod tests {
         assert!(*CHECKPOINT_X_CM.last().unwrap() < TARGET_STOP_CM);
     }
 
+    // Constant-only sanity checks: they assert relationships between
+    // tuning constants that a future edit could silently break.
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn pressure_ceilings_ordered() {
         assert!(PRETENSION_PU < SET_MAX_PU);
         assert!(i64::from(SET_MAX_PU) <= ea::SET_VALUE_MAX);
@@ -156,16 +159,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn slew_within_ea1_rate() {
         assert!(SLEW_PU_PER_MS * 7 < ea::SET_VALUE_RATE);
     }
 
     #[test]
     fn scaling_agrees_with_simenv() {
-        assert_eq!(
-            CM_PER_PULSE as f64 / 100.0,
-            simenv::spec::METERS_PER_PULSE
-        );
+        assert_eq!(CM_PER_PULSE as f64 / 100.0, simenv::spec::METERS_PER_PULSE);
         assert_eq!(DRUM_OFFSET_CM as f64 / 100.0, simenv::spec::DRUM_OFFSET_M);
         // pu = T/10 inverts T = 1000 N/bar at 100 pu/bar.
         assert_eq!(

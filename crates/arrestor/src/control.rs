@@ -75,7 +75,10 @@ mod tests {
     #[test]
     fn ramp_moves_by_at_most_slew() {
         assert_eq!(ramp_toward(0, 10_000), consts::SLEW_PU_PER_MS as u16);
-        assert_eq!(ramp_toward(10_000, 0), 10_000 - consts::SLEW_PU_PER_MS as u16);
+        assert_eq!(
+            ramp_toward(10_000, 0),
+            10_000 - consts::SLEW_PU_PER_MS as u16
+        );
         assert_eq!(ramp_toward(500, 520), 520);
         assert_eq!(ramp_toward(500, 500), 500);
     }
@@ -116,7 +119,10 @@ mod tests {
         let (rising, _, _) = pid_step(5_000, 4_000, 0, 0);
         let (settled, _, _) = pid_step(5_000, 4_000, 0, 1_000);
         assert!(rising > settled);
-        assert_eq!(i64::from(rising) - i64::from(settled), 1_000 / consts::PID_KD_DIV);
+        assert_eq!(
+            i64::from(rising) - i64::from(settled),
+            1_000 / consts::PID_KD_DIV
+        );
     }
 
     #[test]

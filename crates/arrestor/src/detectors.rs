@@ -266,7 +266,15 @@ mod tests {
         let names: Vec<_> = EaId::ALL.iter().map(|ea| ea.signal_name()).collect();
         assert_eq!(
             names,
-            vec!["SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue"]
+            vec![
+                "SetValue",
+                "IsValue",
+                "i",
+                "pulscnt",
+                "ms_slot_nbr",
+                "mscnt",
+                "OutValue"
+            ]
         );
     }
 

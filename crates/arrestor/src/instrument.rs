@@ -225,14 +225,8 @@ pub fn build_detectors_scaled(version: EaSet, rate_scale_percent: u16) -> Detect
         cont(ea::IS_VALUE_MAX, ea::IS_VALUE_RATE),
     ));
     bank.add(ea_core::SignalMonitor::continuous("i", ea3_checkpoint()));
-    bank.add(ea_core::SignalMonitor::continuous(
-        "pulscnt",
-        ea4_pulscnt(),
-    ));
-    bank.add(ea_core::SignalMonitor::discrete(
-        "ms_slot_nbr",
-        ea5_slot(),
-    ));
+    bank.add(ea_core::SignalMonitor::continuous("pulscnt", ea4_pulscnt()));
+    bank.add(ea_core::SignalMonitor::discrete("ms_slot_nbr", ea5_slot()));
     bank.add(ea_core::SignalMonitor::continuous("mscnt", ea6_mscnt()));
     bank.add(ea_core::SignalMonitor::continuous(
         "OutValue",
@@ -251,10 +245,7 @@ mod tests {
 
     #[test]
     fn classes_match_table4() {
-        assert_eq!(
-            ea1_set_value().classify(),
-            SignalClass::continuous_random()
-        );
+        assert_eq!(ea1_set_value().classify(), SignalClass::continuous_random());
         assert_eq!(ea2_is_value().classify(), SignalClass::continuous_random());
         assert_eq!(
             ea3_checkpoint().classify(),
@@ -269,10 +260,7 @@ mod tests {
             ea6_mscnt().classify(),
             SignalClass::continuous_static_monotonic()
         );
-        assert_eq!(
-            ea7_out_value().classify(),
-            SignalClass::continuous_random()
-        );
+        assert_eq!(ea7_out_value().classify(), SignalClass::continuous_random());
     }
 
     #[test]
@@ -285,7 +273,15 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            vec!["SetValue", "IsValue", "i", "pulscnt", "ms_slot_nbr", "mscnt", "OutValue"]
+            vec![
+                "SetValue",
+                "IsValue",
+                "i",
+                "pulscnt",
+                "ms_slot_nbr",
+                "mscnt",
+                "OutValue"
+            ]
         );
         for (k, placement) in plan.placements().iter().enumerate() {
             let ea = EaId::from_index(k).unwrap();

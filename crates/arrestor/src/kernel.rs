@@ -122,10 +122,8 @@ pub fn interpret_stack_hit(hit: &StackHit, upcoming_slot: u16) -> Option<Control
         (frame::KERNEL, FramePart::Locals, _) => Some(ControlFlowFault::SkipSlotOnce),
         (frame::CALC, FramePart::Control, _) => Some(ControlFlowFault::CalcHalt),
         (frame::CALC, FramePart::Locals, _) => None,
-        (name, _, Liveness::WhenScheduled) => {
-            scheduled_this_tick(name, upcoming_slot)
-                .then(|| ControlFlowFault::SkipModuleOnce(static_name(name)))
-        }
+        (name, _, Liveness::WhenScheduled) => scheduled_this_tick(name, upcoming_slot)
+            .then(|| ControlFlowFault::SkipModuleOnce(static_name(name))),
         (_, _, Liveness::Always) => None,
     }
 }
@@ -176,9 +174,8 @@ mod tests {
 
     #[test]
     fn calc_control_halts_background() {
-        let fault =
-            interpret_stack_hit(&hit(frame::CALC, FramePart::Control, Liveness::Always), 0)
-                .unwrap();
+        let fault = interpret_stack_hit(&hit(frame::CALC, FramePart::Control, Liveness::Always), 0)
+            .unwrap();
         assert_eq!(fault, ControlFlowFault::CalcHalt);
     }
 

@@ -16,15 +16,13 @@ use crate::signals::{SignalMap, FILTER_DEPTH};
 pub fn run(sig: &SignalMap, ram: &mut Ram, sensor_units: u16) {
     let idx = sig.filt_idx.read(ram) as usize;
     sig.filt_write(ram, idx, sensor_units);
-    sig.filt_idx
-        .write(ram, ((idx + 1) % FILTER_DEPTH) as u16);
+    sig.filt_idx.write(ram, ((idx + 1) % FILTER_DEPTH) as u16);
 
     let mut sum: u32 = 0;
     for k in 0..FILTER_DEPTH {
         sum += u32::from(sig.filt_read(ram, k));
     }
-    sig.is_value
-        .write(ram, (sum / FILTER_DEPTH as u32) as u16);
+    sig.is_value.write(ram, (sum / FILTER_DEPTH as u32) as u16);
 }
 
 #[cfg(test)]

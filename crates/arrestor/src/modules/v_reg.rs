@@ -22,12 +22,8 @@ pub fn run(sig: &SignalMap, ram: &mut Ram, det: &mut Detectors, t: Millis) {
         iv = repaired;
     }
 
-    let (out, integ, err_bits) = control::pid_step(
-        sv,
-        iv,
-        sig.pid_integ.read(ram),
-        sig.pid_prev_err.read(ram),
-    );
+    let (out, integ, err_bits) =
+        control::pid_step(sv, iv, sig.pid_integ.read(ram), sig.pid_prev_err.read(ram));
     sig.out_value.write(ram, out);
     sig.pid_integ.write(ram, integ);
     sig.pid_prev_err.write(ram, err_bits);

@@ -107,27 +107,19 @@ impl MasterNode {
 
         // The slot module.
         match slot_nbr {
-            slot::PRES_S => {
-                if !self.kernel.consume_slot_skip(frame::PRES_S) {
-                    pres_s::run(&self.sig, ram, sensors.pressure_units);
-                }
+            slot::PRES_S if !self.kernel.consume_slot_skip(frame::PRES_S) => {
+                pres_s::run(&self.sig, ram, sensors.pressure_units);
             }
-            slot::V_REG => {
-                if !self.kernel.consume_slot_skip(frame::V_REG) {
-                    v_reg::run(&self.sig, ram, &mut self.det, t);
-                }
+            slot::V_REG if !self.kernel.consume_slot_skip(frame::V_REG) => {
+                v_reg::run(&self.sig, ram, &mut self.det, t);
             }
-            slot::PRES_A => {
-                if !self.kernel.consume_slot_skip(frame::PRES_A) {
-                    self.valve_latch = pres_a::run(&self.sig, ram, &mut self.det, t);
-                }
+            slot::PRES_A if !self.kernel.consume_slot_skip(frame::PRES_A) => {
+                self.valve_latch = pres_a::run(&self.sig, ram, &mut self.det, t);
             }
-            slot::COMM => {
-                if !self.kernel.consume_slot_skip("COMM") {
-                    let sv = self.sig.set_value.read(ram);
-                    self.sig.link_out.write(ram, sv);
-                    self.comm_out = Some(self.sig.link_out.read(ram));
-                }
+            slot::COMM if !self.kernel.consume_slot_skip("COMM") => {
+                let sv = self.sig.set_value.read(ram);
+                self.sig.link_out.write(ram, sv);
+                self.comm_out = Some(self.sig.link_out.read(ram));
             }
             _ => {}
         }
@@ -162,15 +154,12 @@ impl MasterNode {
                 s + 1
             }
         };
-        match self.mem.inject(flip) {
-            Ok(Some(hit)) => {
-                if hit != StackHit::Dead {
-                    if let Some(fault) = interpret_stack_hit(&hit, upcoming_slot) {
-                        self.kernel.apply(fault);
-                    }
+        if let Ok(Some(hit)) = self.mem.inject(flip) {
+            if hit != StackHit::Dead {
+                if let Some(fault) = interpret_stack_hit(&hit, upcoming_slot) {
+                    self.kernel.apply(fault);
                 }
             }
-            Ok(None) | Err(_) => {}
         }
     }
 

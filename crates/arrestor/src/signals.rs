@@ -152,7 +152,8 @@ impl SignalMap {
 
     /// Reads slot `k` of the PRES_S filter buffer.
     pub fn filt_read(&self, ram: &Ram, k: usize) -> u16 {
-        ram.read_u16(self.filt_buf + 2 * (k % FILTER_DEPTH)).unwrap_or(0)
+        ram.read_u16(self.filt_buf + 2 * (k % FILTER_DEPTH))
+            .unwrap_or(0)
     }
 
     /// Writes slot `k` of the PRES_S filter buffer.

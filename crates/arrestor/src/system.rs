@@ -129,9 +129,7 @@ impl System {
         };
         self.master_valve_pu = self.master.tick(sensors, self.time_ms);
         let incoming = self.master.take_comm();
-        self.slave_valve_pu = self
-            .slave
-            .tick(self.plant.pressure_units_slave(), incoming);
+        self.slave_valve_pu = self.slave.tick(self.plant.pressure_units_slave(), incoming);
 
         let state = self.plant.step(
             f64::from(self.master_valve_pu) / simenv::spec::PRESSURE_UNITS_PER_BAR,
@@ -158,7 +156,10 @@ impl System {
             .verdict(&self.config.constraints, self.case)
             .causes
             .iter()
-            .any(|c| *c != simenv::FailureCause::Overrun || state.distance_m >= self.config.constraints.runway_m)
+            .any(|c| {
+                *c != simenv::FailureCause::Overrun
+                    || state.distance_m >= self.config.constraints.runway_m
+            })
     }
 
     /// Runs the remaining window without injections and returns the
@@ -174,8 +175,7 @@ impl System {
     /// arrestment and collects the detection log.
     pub fn finish(self) -> RunOutcome {
         let verdict = self.failmon.verdict(&self.config.constraints, self.case);
-        let detections: Vec<DetectionEvent> =
-            self.master.detectors().events().to_vec();
+        let detections: Vec<DetectionEvent> = self.master.detectors().events().to_vec();
         let first_detection_ms = detections.first().map(|e| e.at);
         RunOutcome {
             verdict,
@@ -230,12 +230,8 @@ mod tests {
         // Let the arrestment develop, then corrupt SetValue's MSB every
         // 20 ms like the FIC does.
         while system.time_ms() < 10_000 {
-            if system.time_ms() >= 20 && system.time_ms() % 20 == 0 {
-                system.inject(BitFlip::new(
-                    memsim::Region::AppRam,
-                    set_addr + 1,
-                    7,
-                ));
+            if system.time_ms() >= 20 && system.time_ms().is_multiple_of(20) {
+                system.inject(BitFlip::new(memsim::Region::AppRam, set_addr + 1, 7));
             }
             system.tick();
         }

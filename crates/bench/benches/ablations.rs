@@ -48,8 +48,7 @@ fn bench_recovery_strategies(c: &mut Criterion) {
         ("force", RecoveryStrategy::Force(0)),
     ] {
         group.bench_function(label, |b| {
-            let mut monitor =
-                SignalMonitor::continuous("x", params).with_recovery(strategy);
+            let mut monitor = SignalMonitor::continuous("x", params).with_recovery(strategy);
             let _ = monitor.check(5_000);
             b.iter(|| {
                 // Every other sample violates, exercising the recovery.

@@ -21,12 +21,13 @@ fn scaled_protocol() -> Protocol {
 }
 
 fn bench_table6(c: &mut Criterion) {
-    c.benchmark_group("table6").bench_function("generate_and_render", |b| {
-        b.iter(|| {
-            let errors = error_set::e1();
-            black_box(tables::render_table6(&errors, 25))
-        })
-    });
+    c.benchmark_group("table6")
+        .bench_function("generate_and_render", |b| {
+            b.iter(|| {
+                let errors = error_set::e1();
+                black_box(tables::render_table6(&errors, 25))
+            })
+        });
 }
 
 fn bench_table7(c: &mut Criterion) {

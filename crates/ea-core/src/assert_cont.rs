@@ -150,7 +150,6 @@ fn check_unchanged(params: &ContinuousParams, current: Sample) -> Result<Pass, V
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cont::Wrap;
 
     fn random_params() -> ContinuousParams {
         ContinuousParams::builder(0, 1000)

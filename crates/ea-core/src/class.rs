@@ -117,9 +117,7 @@ impl fmt::Display for SignalClass {
     /// Formats in the paper's Table 4 abbreviation, e.g. `Co/Mo/Dy`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let text = match self {
-            SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Static)) => {
-                "Co/Mo/St"
-            }
+            SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Static)) => "Co/Mo/St",
             SignalClass::Continuous(ContinuousKind::Monotonic(MonotonicRate::Dynamic)) => {
                 "Co/Mo/Dy"
             }
@@ -162,11 +160,7 @@ impl FromStr for SignalClass {
             "di/se/li" => SignalClass::discrete_linear(),
             "di/se/nl" => SignalClass::discrete_non_linear(),
             "di/ra" => SignalClass::discrete_random(),
-            _ => {
-                return Err(ParseSignalClassError {
-                    text: s.to_owned(),
-                })
-            }
+            _ => return Err(ParseSignalClassError { text: s.to_owned() }),
         };
         Ok(class)
     }

@@ -56,13 +56,23 @@ impl RateBand {
     /// Returns [`Error::NegativeRate`] or [`Error::InvertedRateBand`].
     pub fn new(direction: RateDirection, min: Sample, max: Sample) -> Result<Self, Error> {
         if min < 0 {
-            return Err(Error::NegativeRate { direction, rate: min });
+            return Err(Error::NegativeRate {
+                direction,
+                rate: min,
+            });
         }
         if max < 0 {
-            return Err(Error::NegativeRate { direction, rate: max });
+            return Err(Error::NegativeRate {
+                direction,
+                rate: max,
+            });
         }
         if min > max {
-            return Err(Error::InvertedRateBand { direction, min, max });
+            return Err(Error::InvertedRateBand {
+                direction,
+                min,
+                max,
+            });
         }
         Ok(RateBand { min, max })
     }
@@ -282,13 +292,19 @@ mod tests {
     #[test]
     fn static_monotonic_increasing() {
         let params = p(0, 100).increase_rate(5, 5).build().unwrap();
-        assert_eq!(params.classify(), SignalClass::continuous_static_monotonic());
+        assert_eq!(
+            params.classify(),
+            SignalClass::continuous_static_monotonic()
+        );
     }
 
     #[test]
     fn static_monotonic_decreasing() {
         let params = p(0, 100).decrease_rate(3, 3).build().unwrap();
-        assert_eq!(params.classify(), SignalClass::continuous_static_monotonic());
+        assert_eq!(
+            params.classify(),
+            SignalClass::continuous_static_monotonic()
+        );
     }
 
     #[test]

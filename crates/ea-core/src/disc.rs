@@ -90,10 +90,7 @@ impl DiscreteParams {
         }
         let mut transitions: BTreeMap<Sample, BTreeSet<Sample>> = BTreeMap::new();
         for window in order.windows(2) {
-            transitions
-                .entry(window[0])
-                .or_default()
-                .insert(window[1]);
+            transitions.entry(window[0]).or_default().insert(window[1]);
         }
         let last = *order.last().expect("order has at least two values");
         let entry = transitions.entry(last).or_default();
@@ -124,10 +121,7 @@ impl DiscreteParams {
     {
         let mut transitions: BTreeMap<Sample, BTreeSet<Sample>> = BTreeMap::new();
         for (from, targets) in graph {
-            transitions
-                .entry(from)
-                .or_default()
-                .extend(targets);
+            transitions.entry(from).or_default().extend(targets);
         }
         if transitions.is_empty() {
             return Err(Error::EmptyDomain);
@@ -338,8 +332,7 @@ mod tests {
 
     #[test]
     fn non_linear_sink_states_need_explicit_empty_set() {
-        let params =
-            DiscreteParams::non_linear([(1, vec![2]), (2, Vec::new())]).unwrap();
+        let params = DiscreteParams::non_linear([(1, vec![2]), (2, Vec::new())]).unwrap();
         assert!(params.transition_allowed(1, 2));
         assert!(!params.transition_allowed(2, 1));
         assert!(params.transitions_from(2).unwrap().is_empty());

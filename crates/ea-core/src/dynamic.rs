@@ -258,8 +258,8 @@ mod tests {
 
     #[test]
     fn first_sample_skips_profiles() {
-        let params = DynamicParams::new(base())
-            .with_increase_profile(RateProfile::new([(0, 1)]).unwrap());
+        let params =
+            DynamicParams::new(base()).with_increase_profile(RateProfile::new([(0, 1)]).unwrap());
         assert_eq!(params.check(None, 19_999), Ok(Pass::FirstSample));
     }
 

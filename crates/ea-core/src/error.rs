@@ -109,10 +109,20 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::EmptyRange { smin, smax } => {
-                write!(f, "smax ({smax}) must be strictly greater than smin ({smin})")
+                write!(
+                    f,
+                    "smax ({smax}) must be strictly greater than smin ({smin})"
+                )
             }
-            Error::InvertedRateBand { direction, min, max } => {
-                write!(f, "{direction} rate band has min ({min}) greater than max ({max})")
+            Error::InvertedRateBand {
+                direction,
+                min,
+                max,
+            } => {
+                write!(
+                    f,
+                    "{direction} rate band has min ({min}) greater than max ({max})"
+                )
             }
             Error::NegativeRate { direction, rate } => {
                 write!(f, "{direction} rate must be non-negative, got {rate}")
@@ -122,13 +132,22 @@ impl fmt::Display for Error {
             }
             Error::EmptyDomain => f.write_str("discrete domain D is empty"),
             Error::TransitionOutsideDomain { from, to } => {
-                write!(f, "transition {from} -> {to} targets a value outside the domain")
+                write!(
+                    f,
+                    "transition {from} -> {to} targets a value outside the domain"
+                )
             }
             Error::TransitionFromOutsideDomain { from } => {
-                write!(f, "transition set given for {from}, which is not in the domain")
+                write!(
+                    f,
+                    "transition set given for {from}, which is not in the domain"
+                )
             }
             Error::MissingTransitions { value } => {
-                write!(f, "sequential signal defines no transition set for domain value {value}")
+                write!(
+                    f,
+                    "sequential signal defines no transition set for domain value {value}"
+                )
             }
             Error::LinearTooShort => {
                 f.write_str("linear sequential signal needs at least two domain values")

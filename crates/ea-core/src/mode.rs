@@ -96,10 +96,7 @@ impl ModedParams {
     pub fn new(initial: Mode, params: impl Into<Params>) -> Self {
         let mut sets = BTreeMap::new();
         sets.insert(initial, params.into());
-        ModedParams {
-            sets,
-            initial,
-        }
+        ModedParams { sets, initial }
     }
 
     /// Adds or replaces the parameter set for `mode`; returns `self` for

@@ -108,8 +108,9 @@ impl InstrumentationPlan {
     pub fn build_bank(&self) -> DetectorBank {
         let mut bank = DetectorBank::new();
         for placement in &self.placements {
-            let monitor = SignalMonitor::new(placement.signal.name.clone(), placement.params.clone())
-                .with_recovery(placement.recovery);
+            let monitor =
+                SignalMonitor::new(placement.signal.name.clone(), placement.params.clone())
+                    .with_recovery(placement.recovery);
             bank.add(monitor);
         }
         bank
@@ -371,8 +372,13 @@ mod tests {
         assert_eq!(selected.len(), 2);
         // cmd has RPN 450, sensor 432: descending order.
         assert_eq!(selected[0], "cmd");
-        proc.place("sensor", speed_params(), "CTRL", RecoveryStrategy::HoldPrevious)
-            .unwrap();
+        proc.place(
+            "sensor",
+            speed_params(),
+            "CTRL",
+            RecoveryStrategy::HoldPrevious,
+        )
+        .unwrap();
         proc.place("cmd", speed_params(), "ACT", RecoveryStrategy::Clamp)
             .unwrap();
         let plan = proc.finish().unwrap();

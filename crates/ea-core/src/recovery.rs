@@ -12,13 +12,14 @@ use crate::verdict::{Violation, ViolationKind};
 use crate::Sample;
 
 /// How a monitor repairs a signal value after a violation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum RecoveryStrategy {
     /// Leave the erroneous value in place (detection only).
     None,
     /// Replace the value with the previous (assumed good) sample; falls
     /// back to clamping when there is no previous sample.
+    #[default]
     HoldPrevious,
     /// Clamp a continuous value into `[smin, smax]`; for discrete signals
     /// fall back to the previous sample or any valid domain value.
@@ -30,12 +31,6 @@ pub enum RecoveryStrategy {
     /// `rmin_decr` downward. Approximates the "best estimate" recovery of
     /// model-based schemes while staying parameter-only.
     RateProject,
-}
-
-impl Default for RecoveryStrategy {
-    fn default() -> Self {
-        RecoveryStrategy::HoldPrevious
-    }
 }
 
 impl RecoveryStrategy {
@@ -148,10 +143,7 @@ mod tests {
     #[test]
     fn force_is_unconditional() {
         let v = Violation::new(ViolationKind::OutsideDomain, 9, Some(6));
-        assert_eq!(
-            RecoveryStrategy::Force(7).recover(&disc_params(), &v),
-            7
-        );
+        assert_eq!(RecoveryStrategy::Force(7).recover(&disc_params(), &v), 7);
     }
 
     #[test]
@@ -178,9 +170,6 @@ mod tests {
     #[test]
     fn rate_project_on_discrete_falls_back() {
         let v = Violation::new(ViolationKind::OutsideDomain, 9, Some(6));
-        assert_eq!(
-            RecoveryStrategy::RateProject.recover(&disc_params(), &v),
-            6
-        );
+        assert_eq!(RecoveryStrategy::RateProject.recover(&disc_params(), &v), 6);
     }
 }

@@ -29,7 +29,11 @@ fn random_cont_params() -> impl Strategy<Value = ContinuousParams> {
             let builder = ContinuousParams::builder(smin, smin + span)
                 .increase_rate(imin, imin + iextra + 1)
                 .decrease_rate(dmin, dmin + dextra + 1);
-            let builder = if wrap { builder.wrap_allowed() } else { builder };
+            let builder = if wrap {
+                builder.wrap_allowed()
+            } else {
+                builder
+            };
             builder.build().expect("constructed within table 1 limits")
         })
 }

@@ -103,7 +103,12 @@ fn instrumentation_plan_round_trip() {
             .build()
             .unwrap();
         process
-            .place("v", ModedParams::new(0, params), "C", RecoveryStrategy::Clamp)
+            .place(
+                "v",
+                ModedParams::new(0, params),
+                "C",
+                RecoveryStrategy::Clamp,
+            )
             .unwrap();
         process.finish().unwrap()
     };

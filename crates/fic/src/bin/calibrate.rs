@@ -38,7 +38,11 @@ fn main() {
         serde_json::to_string_pretty(&points).unwrap(),
     )
     .expect("write calibration.json");
-    if let Some(best) = points.iter().filter(|p| p.clean()).min_by_key(|p| p.rate_scale_percent) {
+    if let Some(best) = points
+        .iter()
+        .filter(|p| p.clean())
+        .min_by_key(|p| p.rate_scale_percent)
+    {
         println!(
             "\ntightest false-positive-free bound: {}% of the derived value ({:.1}% detection)",
             best.rate_scale_percent,

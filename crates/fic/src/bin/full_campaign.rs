@@ -5,51 +5,105 @@
 //! Full protocol: 2 800 + 5 000 runs of 40 s each — minutes of wall
 //! clock on a multicore machine. `--scale 2 --observation 5000` gives a
 //! smoke-test variant.
+//!
+//! Crash safety: with `--journal results/campaign.jsonl` every
+//! completed trial is streamed to a JSONL journal; re-running with
+//! `--resume` replays the journal and executes only the missing trials.
+//! `--from-journal <file>` rebuilds the tables from a journal without
+//! running anything. `--check-golden` compares the resulting reports
+//! against the committed goldens (exit 1 on divergence) and
+//! `--refresh-golden` rewrites them.
 
 use std::time::Instant;
 
 use fic::cli::CliOptions;
+use fic::journal::{Journal, JournalWriter};
 use fic::{error_set, golden, tables, CampaignRunner};
 
 fn main() {
     let options = CliOptions::from_env();
-    let protocol = options.protocol();
     std::fs::create_dir_all(&options.out_dir).expect("create out dir");
 
-    eprintln!(
-        "protocol: {} cases/error, {} ms window, {} ms injection period, {} workers",
-        protocol.cases_per_error(),
-        protocol.observation_ms,
-        protocol.injection_period_ms,
-        protocol.effective_workers()
-    );
-
-    let t0 = Instant::now();
-    eprintln!("[1/3] golden-run validation...");
-    golden::validate_fault_free(&protocol).expect("golden runs must be clean");
-    eprintln!("      ok ({:.1?})", t0.elapsed());
-
-    let runner = CampaignRunner::new(protocol.clone());
-
-    let t1 = Instant::now();
     let e1_errors = error_set::e1();
-    eprintln!(
-        "[2/3] E1: {} errors x {} cases...",
-        e1_errors.len(),
-        protocol.cases_per_error()
-    );
-    let e1_report = runner.run_e1(&e1_errors);
-    eprintln!("      done ({:.1?})", t1.elapsed());
+    let (protocol, e1_report, e2_report) = if let Some(path) = &options.from_journal {
+        let journal = Journal::load(path).expect("readable --from-journal file");
+        if journal.truncated_tail {
+            eprintln!("note: journal has a torn final line (crash evidence); dropped");
+        }
+        let (e1, e2) = journal
+            .replay()
+            .expect("journal matches the paper error sets");
+        eprintln!(
+            "replayed {} journaled trials ({} E1 + {} E2)",
+            journal.records.len(),
+            e1.trials(),
+            e2.trials()
+        );
+        (journal.header.protocol, e1, e2)
+    } else {
+        let protocol = options.protocol();
+        eprintln!(
+            "protocol: {} cases/error, {} ms window, {} ms injection period, {} workers",
+            protocol.cases_per_error(),
+            protocol.observation_ms,
+            protocol.injection_period_ms,
+            protocol.effective_workers()
+        );
 
-    let t2 = Instant::now();
-    let e2_errors = error_set::e2();
-    eprintln!(
-        "[3/3] E2: {} errors x {} cases...",
-        e2_errors.len(),
-        protocol.cases_per_error()
-    );
-    let e2_report = runner.run_e2(&e2_errors);
-    eprintln!("      done ({:.1?})", t2.elapsed());
+        let t0 = Instant::now();
+        eprintln!("[1/3] golden-run validation...");
+        golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+        eprintln!("      ok ({:.1?})", t0.elapsed());
+
+        let runner = CampaignRunner::new(protocol.clone());
+        let e2_errors = error_set::e2();
+
+        let t1 = Instant::now();
+        eprintln!(
+            "[2/3] E1: {} errors x {} cases...",
+            e1_errors.len(),
+            protocol.cases_per_error()
+        );
+        let e1_report;
+        let e2_report;
+        match &options.journal {
+            Some(journal_path) if options.resume => {
+                e1_report = runner
+                    .resume_e1(&e1_errors, journal_path)
+                    .expect("resume E1 from journal");
+                eprintln!("      done ({:.1?})", t1.elapsed());
+                let t2 = Instant::now();
+                eprintln!("[3/3] E2: {} errors...", e2_errors.len());
+                e2_report = runner
+                    .resume_e2(&e2_errors, journal_path)
+                    .expect("resume E2 from journal");
+                eprintln!("      done ({:.1?})", t2.elapsed());
+            }
+            Some(journal_path) => {
+                let mut writer =
+                    JournalWriter::create(journal_path, &protocol).expect("create journal");
+                e1_report = runner
+                    .run_e1_journaled(&e1_errors, &mut writer)
+                    .expect("journaled E1 campaign");
+                eprintln!("      done ({:.1?})", t1.elapsed());
+                let t2 = Instant::now();
+                eprintln!("[3/3] E2: {} errors...", e2_errors.len());
+                e2_report = runner
+                    .run_e2_journaled(&e2_errors, &mut writer)
+                    .expect("journaled E2 campaign");
+                eprintln!("      done ({:.1?})", t2.elapsed());
+            }
+            None => {
+                e1_report = runner.run_e1(&e1_errors);
+                eprintln!("      done ({:.1?})", t1.elapsed());
+                let t2 = Instant::now();
+                eprintln!("[3/3] E2: {} errors...", e2_errors.len());
+                e2_report = runner.run_e2(&e2_errors);
+                eprintln!("      done ({:.1?})", t2.elapsed());
+            }
+        }
+        (protocol, e1_report, e2_report)
+    };
 
     // Artefacts.
     std::fs::write(
@@ -96,4 +150,36 @@ fn main() {
         .expect("write coverage_analysis.json");
     }
     eprintln!("artefacts written to {}", options.out_dir.display());
+
+    if options.refresh_golden {
+        golden::refresh_dir(
+            &options.golden_dir,
+            &e1_errors,
+            protocol.cases_per_error(),
+            &e1_report,
+            &e2_report,
+        )
+        .expect("write golden artefacts");
+        eprintln!("goldens refreshed in {}", options.golden_dir.display());
+    }
+
+    if options.check_golden {
+        let divergences = golden::check_dir(
+            &options.golden_dir,
+            &e1_errors,
+            protocol.cases_per_error(),
+            &e1_report,
+            &e2_report,
+        )
+        .expect("readable golden artefacts");
+        if divergences.is_empty() {
+            eprintln!("golden check: ok (within Powell-style confidence tolerances)");
+        } else {
+            eprintln!("golden check FAILED: {} divergent cells", divergences.len());
+            for divergence in &divergences {
+                eprintln!("  {divergence}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,11 +1,22 @@
-//! Regenerates paper Table 6: the distribution of errors in error set E1.
+//! Regenerates paper Table 6: the distribution of errors in error set
+//! E1. With `--from-journal <file>` the per-error injection counts come
+//! from the journal's recorded protocol instead of the CLI flags.
 
 use fic::cli::CliOptions;
+use fic::journal::Journal;
 use fic::{error_set, tables};
 
 fn main() {
     let options = CliOptions::from_env();
-    let protocol = options.protocol();
+    let protocol = match &options.from_journal {
+        Some(path) => {
+            Journal::load(path)
+                .expect("readable --from-journal file")
+                .header
+                .protocol
+        }
+        None => options.protocol(),
+    };
     let errors = error_set::e1();
     print!(
         "{}",

@@ -2,15 +2,24 @@
 //! software version, from the E1 campaign.
 //!
 //! Full paper protocol by default (2 800 runs × 40 s windows); use
-//! `--scale 2 --observation 5000` for a quick smoke run, or
-//! `--load results/e1.json` to re-render a saved campaign.
+//! `--scale 2 --observation 5000` for a quick smoke run,
+//! `--load results/e1.json` to re-render a saved campaign, or
+//! `--from-journal results/campaign.jsonl` to rebuild from a trial
+//! journal.
 
 use fic::cli::CliOptions;
+use fic::journal::Journal;
 use fic::{error_set, golden, tables, CampaignRunner, E1Report};
 
 fn main() {
     let options = CliOptions::from_env();
-    let report: E1Report = if let Some(path) = &options.load {
+    let report: E1Report = if let Some(path) = &options.from_journal {
+        let journal = Journal::load(path).expect("readable --from-journal file");
+        let (e1, _) = journal
+            .replay()
+            .expect("journal matches the paper error sets");
+        e1
+    } else if let Some(path) = &options.load {
         let data = std::fs::read_to_string(path).expect("readable --load file");
         serde_json::from_str(&data).expect("valid saved E1 report")
     } else {

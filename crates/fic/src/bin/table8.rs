@@ -2,14 +2,23 @@
 //! software version, from the E1 campaign.
 //!
 //! Prefers `--load results/e1.json` (written by `table7` or
-//! `full_campaign`) so the campaign runs once for both tables.
+//! `full_campaign`) so the campaign runs once for both tables;
+//! `--from-journal results/campaign.jsonl` rebuilds the report from a
+//! trial journal instead.
 
 use fic::cli::CliOptions;
+use fic::journal::Journal;
 use fic::{error_set, golden, tables, CampaignRunner, E1Report};
 
 fn main() {
     let options = CliOptions::from_env();
-    let report: E1Report = if let Some(path) = &options.load {
+    let report: E1Report = if let Some(path) = &options.from_journal {
+        let journal = Journal::load(path).expect("readable --from-journal file");
+        let (e1, _) = journal
+            .replay()
+            .expect("journal matches the paper error sets");
+        e1
+    } else if let Some(path) = &options.load {
         let data = std::fs::read_to_string(path).expect("readable --load file");
         serde_json::from_str(&data).expect("valid saved E1 report")
     } else {

@@ -1,12 +1,21 @@
 //! Regenerates paper Table 9: total detection coverage and latencies
-//! for error set E2 (random RAM/stack bit flips).
+//! for error set E2 (random RAM/stack bit flips). Supports
+//! `--from-journal results/campaign.jsonl` to rebuild the report from a
+//! trial journal without re-running.
 
 use fic::cli::CliOptions;
+use fic::journal::Journal;
 use fic::{error_set, golden, tables, CampaignRunner, E2Report};
 
 fn main() {
     let options = CliOptions::from_env();
-    let report: E2Report = if let Some(path) = &options.load {
+    let report: E2Report = if let Some(path) = &options.from_journal {
+        let journal = Journal::load(path).expect("readable --from-journal file");
+        let (_, e2) = journal
+            .replay()
+            .expect("journal matches the paper error sets");
+        e2
+    } else if let Some(path) = &options.load {
         let data = std::fs::read_to_string(path).expect("readable --load file");
         serde_json::from_str(&data).expect("valid saved E2 report")
     } else {

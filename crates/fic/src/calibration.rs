@@ -45,7 +45,12 @@ impl CalibrationPoint {
     }
 }
 
-fn run(protocol: &Protocol, scale: u16, flip: Option<memsim::BitFlip>, case: simenv::TestCase) -> bool {
+fn run(
+    protocol: &Protocol,
+    scale: u16,
+    flip: Option<memsim::BitFlip>,
+    case: simenv::TestCase,
+) -> bool {
     let config = RunConfig {
         observation_ms: protocol.observation_ms,
         version: EaSet::ALL,
@@ -57,7 +62,7 @@ fn run(protocol: &Protocol, scale: u16, flip: Option<memsim::BitFlip>, case: sim
     while system.time_ms() < protocol.observation_ms {
         let t = system.time_ms();
         if let Some(flip) = flip {
-            if t > 0 && t % period == 0 {
+            if t > 0 && t.is_multiple_of(period) {
                 system.inject(flip);
             }
         }
@@ -67,11 +72,7 @@ fn run(protocol: &Protocol, scale: u16, flip: Option<memsim::BitFlip>, case: sim
 }
 
 /// Sweeps the given scales over golden runs and the error subset.
-pub fn sweep(
-    protocol: &Protocol,
-    errors: &[E1Error],
-    scales: &[u16],
-) -> Vec<CalibrationPoint> {
+pub fn sweep(protocol: &Protocol, errors: &[E1Error], scales: &[u16]) -> Vec<CalibrationPoint> {
     let cases = protocol.grid.cases();
     scales
         .iter()
@@ -90,8 +91,7 @@ pub fn sweep(
             for error in errors {
                 for case in &cases {
                     point.injected_runs += 1;
-                    point.detected_runs +=
-                        u64::from(run(protocol, scale, Some(error.flip), *case));
+                    point.detected_runs += u64::from(run(protocol, scale, Some(error.flip), *case));
                 }
             }
             point
@@ -101,9 +101,8 @@ pub fn sweep(
 
 /// Renders the sweep as a table.
 pub fn render(points: &[CalibrationPoint]) -> String {
-    let mut out = String::from(
-        "Rate-bound calibration sweep (scale % of physics-derived bounds)\n",
-    );
+    let mut out =
+        String::from("Rate-bound calibration sweep (scale % of physics-derived bounds)\n");
     out.push_str(&format!(
         "{:>8}{:>16}{:>14}{:>10}\n",
         "scale", "false positives", "detections", "usable"

@@ -1,11 +1,24 @@
 //! Parallel campaign execution: fan out ⟨error, test case⟩ pairs over
-//! worker threads, merge partial reports.
+//! worker threads, stream completed trials back to a single collector.
+//!
+//! The collector (the calling thread) folds every trial into the report
+//! *and* appends it to the optional crash-safe [`journal`], so a killed
+//! campaign can be resumed with [`CampaignRunner::resume_e1`] /
+//! [`CampaignRunner::resume_e2`]: recorded trials are replayed from the
+//! journal and only the missing ⟨error, case⟩ pairs are re-executed.
+//! Reports are commutative accumulators, so the result is independent
+//! of worker count, completion order, and interruption points.
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::path::Path;
 
 use crossbeam::channel;
 use simenv::TestCase;
 
 use crate::error_set::{E1Error, E2Error};
-use crate::experiment::run_trial;
+use crate::experiment::{run_trial, Trial};
+use crate::journal::{CampaignKind, Journal, JournalError, JournalWriter};
 use crate::protocol::Protocol;
 use crate::results::{E1Report, E2Report};
 
@@ -30,94 +43,295 @@ impl CampaignRunner {
     /// [`crate::error_set::e1`]); one run per ⟨error, case⟩ pair, all
     /// eight versions derived from the per-mechanism log.
     pub fn run_e1(&self, errors: &[E1Error]) -> E1Report {
-        self.fan_out(
+        let mut report = E1Report::new();
+        self.execute(
             errors,
-            E1Report::new,
-            |report, error, trial| report.record(error, trial),
-            E1Report::merge,
+            &self.all_pairs(errors.len()),
+            &mut report,
+            E1Report::record,
+            CampaignKind::E1,
+            None,
         )
+        .expect("journal-less campaigns do no I/O");
+        report
     }
 
     /// Runs the E2 campaign (the paper set is [`crate::error_set::e2`])
     /// on the all-mechanisms version.
     pub fn run_e2(&self, errors: &[E2Error]) -> E2Report {
-        self.fan_out(
+        let mut report = E2Report::new();
+        self.execute(
             errors,
-            E2Report::new,
-            |report, error, trial| report.record(error, trial),
-            E2Report::merge,
+            &self.all_pairs(errors.len()),
+            &mut report,
+            E2Report::record,
+            CampaignKind::E2,
+            None,
         )
+        .expect("journal-less campaigns do no I/O");
+        report
     }
 
-    /// Generic worker fan-out: each worker runs whole errors (all grid
-    /// cases) to keep the work units coarse, accumulates into a local
-    /// report, and the locals are merged at the end.
-    fn fan_out<E, R>(
+    /// Runs the E1 campaign streaming every completed trial into
+    /// `journal` (crash-safe checkpointing).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures while appending to the journal.
+    pub fn run_e1_journaled(
+        &self,
+        errors: &[E1Error],
+        journal: &mut JournalWriter,
+    ) -> io::Result<E1Report> {
+        let mut report = E1Report::new();
+        self.execute(
+            errors,
+            &self.all_pairs(errors.len()),
+            &mut report,
+            E1Report::record,
+            CampaignKind::E1,
+            Some(journal),
+        )?;
+        journal.sync()?;
+        Ok(report)
+    }
+
+    /// Runs the E2 campaign streaming every completed trial into
+    /// `journal`.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem failures while appending to the journal.
+    pub fn run_e2_journaled(
+        &self,
+        errors: &[E2Error],
+        journal: &mut JournalWriter,
+    ) -> io::Result<E2Report> {
+        let mut report = E2Report::new();
+        self.execute(
+            errors,
+            &self.all_pairs(errors.len()),
+            &mut report,
+            E2Report::record,
+            CampaignKind::E2,
+            Some(journal),
+        )?;
+        journal.sync()?;
+        Ok(report)
+    }
+
+    /// Resumes (or starts) a journaled E1 campaign: trials already in
+    /// the journal at `path` are replayed into the report, only missing
+    /// ⟨error, case⟩ pairs are executed, and their outcomes are
+    /// appended to the same journal. With no journal file present this
+    /// is a fresh journaled campaign.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O or parse failures, or a journal recorded under an
+    /// incompatible protocol / unknown error numbers.
+    pub fn resume_e1(&self, errors: &[E1Error], path: &Path) -> Result<E1Report, JournalError> {
+        let mut report = E1Report::new();
+        let by_number: HashMap<usize, usize> = errors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.number, i))
+            .collect();
+        let (pending, mut journal) =
+            self.replay_into(path, CampaignKind::E1, &by_number, |idx, trial| {
+                report.record(&errors[idx], trial);
+            })?;
+        self.execute(
+            errors,
+            &pending,
+            &mut report,
+            E1Report::record,
+            CampaignKind::E1,
+            Some(&mut journal),
+        )?;
+        journal.sync()?;
+        Ok(report)
+    }
+
+    /// Resumes (or starts) a journaled E2 campaign; see
+    /// [`CampaignRunner::resume_e1`].
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O or parse failures, or an incompatible journal.
+    pub fn resume_e2(&self, errors: &[E2Error], path: &Path) -> Result<E2Report, JournalError> {
+        let mut report = E2Report::new();
+        let by_number: HashMap<usize, usize> = errors
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.number, i))
+            .collect();
+        let (pending, mut journal) =
+            self.replay_into(path, CampaignKind::E2, &by_number, |idx, trial| {
+                report.record(&errors[idx], trial);
+            })?;
+        self.execute(
+            errors,
+            &pending,
+            &mut report,
+            E2Report::record,
+            CampaignKind::E2,
+            Some(&mut journal),
+        )?;
+        journal.sync()?;
+        Ok(report)
+    }
+
+    /// Loads the journal at `path` (if any), feeds the matching
+    /// campaign's recorded trials to `replay`, and returns the still-
+    /// missing ⟨error index, case index⟩ pairs plus a writer appending
+    /// to the same journal.
+    fn replay_into(
+        &self,
+        path: &Path,
+        kind: CampaignKind,
+        by_number: &HashMap<usize, usize>,
+        mut replay: impl FnMut(usize, &Trial),
+    ) -> Result<(Vec<(usize, usize)>, JournalWriter), JournalError> {
+        let cases = self.protocol.cases_per_error();
+        let mut done: HashSet<(usize, usize)> = HashSet::new();
+        if path.exists() {
+            let journal = Journal::load(path)?;
+            if !journal.header.protocol.compatible_with(&self.protocol) {
+                return Err(JournalError::Mismatch(
+                    "journal was recorded under a different protocol \
+                     (injection period, window, or test-case grid)"
+                        .to_owned(),
+                ));
+            }
+            for record in &journal.records {
+                if record.campaign != kind {
+                    continue;
+                }
+                let Some(&idx) = by_number.get(&record.error_number) else {
+                    return Err(JournalError::Mismatch(format!(
+                        "journal records error number {} absent from the \
+                         current error set",
+                        record.error_number
+                    )));
+                };
+                if record.case_index >= cases {
+                    return Err(JournalError::Mismatch(format!(
+                        "journal case index {} out of range ({} cases/error)",
+                        record.case_index, cases
+                    )));
+                }
+                if done.insert((idx, record.case_index)) {
+                    replay(idx, &record.trial);
+                }
+            }
+        }
+        let writer = JournalWriter::append_to(path, &self.protocol)?;
+        let pending: Vec<(usize, usize)> = (0..by_number.len())
+            .flat_map(|ei| (0..cases).map(move |ci| (ei, ci)))
+            .filter(|key| !done.contains(key))
+            .collect();
+        Ok((pending, writer))
+    }
+
+    /// Every ⟨error index, case index⟩ pair of a fresh campaign.
+    fn all_pairs(&self, error_count: usize) -> Vec<(usize, usize)> {
+        let cases = self.protocol.cases_per_error();
+        (0..error_count)
+            .flat_map(|ei| (0..cases).map(move |ci| (ei, ci)))
+            .collect()
+    }
+
+    /// Generic worker fan-out: workers pull ⟨error, case⟩ pairs from a
+    /// shared queue and stream completed trials back; the collector (on
+    /// the calling thread) folds them into the report in arrival order
+    /// and appends each to the journal. Reports are commutative, so
+    /// arrival order does not affect the result.
+    fn execute<E, R>(
         &self,
         errors: &[E],
-        make: fn() -> R,
-        record: fn(&mut R, &E, &crate::experiment::Trial),
-        merge: fn(&mut R, &R),
-    ) -> R
+        pending: &[(usize, usize)],
+        report: &mut R,
+        record: fn(&mut R, &E, &Trial),
+        kind: CampaignKind,
+        mut journal: Option<&mut JournalWriter>,
+    ) -> io::Result<()>
     where
-        E: Sync + HasFlip,
-        R: Send,
+        E: Sync + InjectableError,
     {
         let cases: Vec<TestCase> = self.protocol.grid.cases();
         let workers = self.protocol.effective_workers().max(1);
-        let (tx, rx) = channel::unbounded::<usize>();
-        for idx in 0..errors.len() {
-            tx.send(idx).expect("queue is open");
+        let (work_tx, work_rx) = channel::unbounded::<(usize, usize)>();
+        for &pair in pending {
+            work_tx.send(pair).expect("queue is open");
         }
-        drop(tx);
+        drop(work_tx);
+        let (result_tx, result_rx) = channel::unbounded::<(usize, usize, Trial)>();
 
-        let partials: Vec<R> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
+        let mut journal_error: Option<io::Error> = None;
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                let rx = rx.clone();
+                let work_rx = work_rx.clone();
+                let result_tx = result_tx.clone();
                 let cases = &cases;
                 let protocol = &self.protocol;
-                handles.push(scope.spawn(move || {
-                    let mut local = make();
-                    while let Ok(idx) = rx.recv() {
-                        let error = &errors[idx];
-                        for case in cases {
-                            let trial = run_trial(protocol, error.flip(), *case);
-                            record(&mut local, error, &trial);
-                        }
+                scope.spawn(move || {
+                    while let Ok((ei, ci)) = work_rx.recv() {
+                        let trial = run_trial(protocol, errors[ei].flip(), cases[ci]);
+                        result_tx
+                            .send((ei, ci, trial))
+                            .expect("collector outlives workers");
                     }
-                    local
-                }));
+                });
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            drop(result_tx);
+
+            while let Ok((ei, ci, trial)) = result_rx.recv() {
+                let error = &errors[ei];
+                record(report, error, &trial);
+                if let Some(writer) = journal.as_deref_mut() {
+                    if let Err(e) = writer.append(kind, error.number(), ci, &trial) {
+                        // Remember the first failure, stop journaling,
+                        // but keep collecting so the report stays whole
+                        // and the workers can drain.
+                        journal_error.get_or_insert(e);
+                        journal = None;
+                    }
+                }
+            }
         });
 
-        let mut report = make();
-        for partial in &partials {
-            merge(&mut report, partial);
+        match journal_error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
-        report
     }
 }
 
-/// Internal: both error kinds expose their flip coordinates.
-pub trait HasFlip {
+/// Internal: both error kinds expose their flip coordinates and their
+/// stable paper error number (the journal key).
+pub trait InjectableError {
     /// The SWIFI coordinates of this error.
     fn flip(&self) -> memsim::BitFlip;
+    /// The paper's 1-based error number.
+    fn number(&self) -> usize;
 }
 
-impl HasFlip for E1Error {
+impl InjectableError for E1Error {
     fn flip(&self) -> memsim::BitFlip {
         self.flip
     }
+    fn number(&self) -> usize {
+        self.number
+    }
 }
 
-impl HasFlip for E2Error {
+impl InjectableError for E2Error {
     fn flip(&self) -> memsim::BitFlip {
         self.flip
+    }
+    fn number(&self) -> usize {
+        self.number
     }
 }
 
@@ -126,6 +340,14 @@ mod tests {
     use super::*;
     use crate::error_set;
     use arrestor::EaId;
+    use std::path::PathBuf;
+
+    fn temp_journal(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fic-campaign-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
 
     #[test]
     fn small_e1_campaign_counts_trials() {
@@ -168,5 +390,81 @@ mod tests {
         assert_eq!(report.trials(), 4);
         assert_eq!(report.ram.all.total(), 2);
         assert_eq!(report.stack.all.total(), 2);
+    }
+
+    #[test]
+    fn journaled_run_equals_plain_run() {
+        let path = temp_journal("journaled-eq");
+        let protocol = Protocol::scaled(2, 1_200);
+        let runner = CampaignRunner::new(protocol.clone());
+        let errors = error_set::e1();
+        let subset = &errors[80..83];
+
+        let plain = runner.run_e1(subset);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        let journaled = runner.run_e1_journaled(subset, &mut writer).unwrap();
+        drop(writer);
+        assert_eq!(plain, journaled);
+
+        // The journal holds exactly one record per ⟨error, case⟩ pair.
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.records.len(), 3 * 4);
+        let mut keys: Vec<_> = journal
+            .records
+            .iter()
+            .map(|r| (r.error_number, r.case_index))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3 * 4);
+    }
+
+    #[test]
+    fn resume_on_fresh_path_runs_full_campaign() {
+        let path = temp_journal("resume-fresh");
+        let protocol = Protocol::scaled(1, 1_000);
+        let runner = CampaignRunner::new(protocol);
+        let errors = error_set::e1();
+        let subset = &errors[0..2];
+        let resumed = runner.resume_e1(subset, &path).unwrap();
+        assert_eq!(resumed, runner.run_e1(subset));
+    }
+
+    #[test]
+    fn resume_skips_recorded_trials_and_completes_the_rest() {
+        let path = temp_journal("resume-half");
+        let protocol = Protocol::scaled(2, 1_200);
+        let runner = CampaignRunner::new(protocol.clone());
+        let errors = error_set::e2();
+        let subset = &errors[..4];
+
+        // Full journaled run, then cut the journal in half (as a crash
+        // mid-campaign would).
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        let full = runner.run_e2_journaled(subset, &mut writer).unwrap();
+        drop(writer);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        let keep = 1 + (lines.len() - 1) / 2; // header + half the records
+        std::fs::write(&path, format!("{}\n", lines[..keep].join("\n"))).unwrap();
+
+        let resumed = runner.resume_e2(subset, &path).unwrap();
+        assert_eq!(resumed, full);
+        // The journal is complete again afterwards.
+        assert_eq!(Journal::load(&path).unwrap().records.len(), 4 * 4);
+    }
+
+    #[test]
+    fn resume_rejects_incompatible_protocol() {
+        let path = temp_journal("resume-mismatch");
+        let errors = error_set::e1();
+        let subset = &errors[0..1];
+        let runner = CampaignRunner::new(Protocol::scaled(1, 1_000));
+        runner.resume_e1(subset, &path).unwrap();
+        let other = CampaignRunner::new(Protocol::scaled(1, 2_000));
+        assert!(matches!(
+            other.resume_e1(subset, &path),
+            Err(JournalError::Mismatch(_))
+        ));
     }
 }

@@ -8,7 +8,18 @@
 //! * `--workers <n>` — worker threads (default: all cores);
 //! * `--out <dir>` — artefact directory (default `results/`);
 //! * `--load <file>` — render from a previously saved JSON report
-//!   instead of re-running the campaign.
+//!   instead of re-running the campaign;
+//! * `--journal <file>` — stream every completed trial to a crash-safe
+//!   JSONL journal;
+//! * `--resume` — replay the journal named by `--journal` and run only
+//!   the missing trials;
+//! * `--from-journal <file>` — rebuild the reports from a journal
+//!   instead of running any trials;
+//! * `--check-golden` — after the campaign, compare the reports against
+//!   the committed goldens (exit 1 on divergence);
+//! * `--refresh-golden` — write the campaign's artefacts into the
+//!   golden directory;
+//! * `--golden-dir <dir>` — golden directory (default `results/golden`).
 
 use std::path::PathBuf;
 
@@ -27,6 +38,18 @@ pub struct CliOptions {
     pub out_dir: PathBuf,
     /// Load a saved report instead of running.
     pub load: Option<PathBuf>,
+    /// Stream completed trials to this journal file.
+    pub journal: Option<PathBuf>,
+    /// Replay the `--journal` file and run only missing trials.
+    pub resume: bool,
+    /// Rebuild reports from a completed journal; no trials run.
+    pub from_journal: Option<PathBuf>,
+    /// Compare the results against the committed goldens.
+    pub check_golden: bool,
+    /// Overwrite the committed goldens with the current results.
+    pub refresh_golden: bool,
+    /// Where the golden artefacts live.
+    pub golden_dir: PathBuf,
 }
 
 impl Default for CliOptions {
@@ -37,6 +60,12 @@ impl Default for CliOptions {
             workers: None,
             out_dir: PathBuf::from("results"),
             load: None,
+            journal: None,
+            resume: false,
+            from_journal: None,
+            check_golden: false,
+            refresh_golden: false,
+            golden_dir: PathBuf::from("results/golden"),
         }
     }
 }
@@ -50,7 +79,9 @@ impl CliOptions {
             Err(message) => {
                 eprintln!("{message}");
                 eprintln!(
-                    "usage: [--scale n] [--observation ms] [--workers n] [--out dir] [--load file]"
+                    "usage: [--scale n] [--observation ms] [--workers n] [--out dir] \
+                     [--load file] [--journal file] [--resume] [--from-journal file] \
+                     [--check-golden] [--refresh-golden] [--golden-dir dir]"
                 );
                 std::process::exit(2);
             }
@@ -95,8 +126,24 @@ impl CliOptions {
                 }
                 "--out" => options.out_dir = PathBuf::from(value("--out")?),
                 "--load" => options.load = Some(PathBuf::from(value("--load")?)),
+                "--journal" => options.journal = Some(PathBuf::from(value("--journal")?)),
+                "--resume" => options.resume = true,
+                "--from-journal" => {
+                    options.from_journal = Some(PathBuf::from(value("--from-journal")?));
+                }
+                "--check-golden" => options.check_golden = true,
+                "--refresh-golden" => options.refresh_golden = true,
+                "--golden-dir" => options.golden_dir = PathBuf::from(value("--golden-dir")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
+        }
+        if options.resume && options.journal.is_none() {
+            return Err("--resume needs --journal <file>".to_owned());
+        }
+        if options.from_journal.is_some() && (options.journal.is_some() || options.resume) {
+            return Err("--from-journal replays a finished journal; it cannot be \
+                 combined with --journal/--resume"
+                .to_owned());
         }
         Ok(options)
     }
@@ -132,6 +179,9 @@ mod tests {
         assert_eq!(protocol.cases_per_error(), 25);
         assert_eq!(protocol.observation_ms, 40_000);
         assert_eq!(options.out_dir, PathBuf::from("results"));
+        assert_eq!(options.golden_dir, PathBuf::from("results/golden"));
+        assert!(!options.resume && !options.check_golden && !options.refresh_golden);
+        assert!(options.journal.is_none() && options.from_journal.is_none());
     }
 
     #[test]
@@ -155,9 +205,47 @@ mod tests {
     }
 
     #[test]
+    fn parses_journal_and_golden_flags() {
+        let options = CliOptions::parse(&args(&[
+            "--journal",
+            "results/campaign.jsonl",
+            "--resume",
+            "--check-golden",
+            "--golden-dir",
+            "results/golden-alt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.journal,
+            Some(PathBuf::from("results/campaign.jsonl"))
+        );
+        assert!(options.resume);
+        assert!(options.check_golden);
+        assert_eq!(options.golden_dir, PathBuf::from("results/golden-alt"));
+
+        let options =
+            CliOptions::parse(&args(&["--from-journal", "x.jsonl", "--refresh-golden"])).unwrap();
+        assert_eq!(options.from_journal, Some(PathBuf::from("x.jsonl")));
+        assert!(options.refresh_golden);
+    }
+
+    #[test]
     fn rejects_unknown_flags_and_missing_values() {
         assert!(CliOptions::parse(&args(&["--bogus"])).is_err());
         assert!(CliOptions::parse(&args(&["--scale"])).is_err());
         assert!(CliOptions::parse(&args(&["--scale", "two"])).is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_journal_flags() {
+        assert!(CliOptions::parse(&args(&["--resume"])).is_err());
+        assert!(CliOptions::parse(&args(&[
+            "--from-journal",
+            "a.jsonl",
+            "--journal",
+            "b.jsonl"
+        ]))
+        .is_err());
+        assert!(CliOptions::parse(&args(&["--from-journal", "a.jsonl", "--resume"])).is_err());
     }
 }

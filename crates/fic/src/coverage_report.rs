@@ -76,9 +76,7 @@ pub fn render(analysis: &CoverageAnalysis) -> String {
             "  Pprop   = {p:.4}   (inferred: probability an unmonitored RAM error\n\
              \x20                    propagates into a monitored signal)\n"
         )),
-        None => out.push_str(
-            "  Pprop   = n/a      (measurements inconsistent with the algebra)\n",
-        ),
+        None => out.push_str("  Pprop   = n/a      (measurements inconsistent with the algebra)\n"),
     }
     out
 }

@@ -57,7 +57,7 @@ pub fn run_trial(protocol: &Protocol, flip: BitFlip, case: TestCase) -> Trial {
 
     while system.time_ms() < protocol.observation_ms {
         let t = system.time_ms();
-        if t > 0 && t % period == 0 {
+        if t > 0 && t.is_multiple_of(period) {
             system.inject(flip);
         }
         system.tick();
@@ -107,7 +107,10 @@ mod tests {
         assert!(ea6.is_some(), "EA6 should fire");
         // Detected within a few ms of the first injection at t = 20.
         assert!(ea6.unwrap() <= 25, "latency too long: {ea6:?}");
-        assert_eq!(trial.latency_ms(EaSet::only(EaId::Ea6)), Some(ea6.unwrap() - 20));
+        assert_eq!(
+            trial.latency_ms(EaSet::only(EaId::Ea6)),
+            Some(ea6.unwrap() - 20)
+        );
     }
 
     #[test]
@@ -144,7 +147,11 @@ mod tests {
     #[test]
     fn dead_stack_error_is_inert() {
         let flip = BitFlip::new(Region::Stack, 10, 3);
-        let trial = run_trial(&Protocol::scaled(1, 25_000), flip, TestCase::new(12_000.0, 55.0));
+        let trial = run_trial(
+            &Protocol::scaled(1, 25_000),
+            flip,
+            TestCase::new(12_000.0, 55.0),
+        );
         assert!(!trial.detected(EaSet::ALL));
         assert!(!trial.failed);
     }
@@ -154,7 +161,11 @@ mod tests {
         // Top of the stack: the ISR context. The node hangs, the valves
         // freeze, the aircraft overruns — and no assertion ever runs.
         let flip = BitFlip::new(Region::Stack, memsim::STACK_BYTES - 4, 0);
-        let trial = run_trial(&Protocol::scaled(1, 25_000), flip, TestCase::new(12_000.0, 55.0));
+        let trial = run_trial(
+            &Protocol::scaled(1, 25_000),
+            flip,
+            TestCase::new(12_000.0, 55.0),
+        );
         assert!(trial.failed, "hung node must overrun");
         assert!(!trial.detected(EaSet::ALL));
     }

@@ -1,0 +1,544 @@
+//! Crash-safe trial journal: checkpoint/resume for long campaigns.
+//!
+//! The paper's full protocol is 2 800 E1 runs plus 5 000 E2 runs of
+//! 40 s each — long enough that a campaign host can die mid-flight. The
+//! journal streams one JSON line per *completed* ⟨error, test case⟩
+//! trial so an interrupted campaign can be resumed without re-running
+//! finished work:
+//!
+//! * line 1 is a [`JournalHeader`] recording the format version and the
+//!   [`Protocol`] the trials were run under;
+//! * every other line is a [`TrialRecord`] keyed by
+//!   ⟨campaign, error number, case index⟩ — deterministic identifiers
+//!   that do not depend on worker count or completion order.
+//!
+//! Writes are batched and `fsync`'d every [`JournalWriter::batch_size`]
+//! records, so a crash loses at most one unsynced batch; the trailing
+//! partially-written line that a crash can leave behind is tolerated by
+//! [`Journal::load`] (any *earlier* corruption is a hard error, since
+//! it cannot be explained by a crash on an append-only file).
+//!
+//! Because every report in [`crate::results`] is a commutative
+//! accumulator (counts, sums, running min/max), replaying journal
+//! records in file order and then running only the missing pairs
+//! produces a report identical to the uninterrupted campaign.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error_set;
+use crate::experiment::Trial;
+use crate::protocol::Protocol;
+use crate::results::{E1Report, E2Report};
+
+/// Journal format version written into every header.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Default number of records appended between `fsync`s.
+pub const DEFAULT_BATCH_SIZE: usize = 16;
+
+/// Which campaign a trial belongs to (E1 and E2 number their errors
+/// independently, both from 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignKind {
+    /// Error set E1: signal-bit errors (Tables 7 and 8).
+    E1,
+    /// Error set E2: random RAM/stack flips (Table 9).
+    E2,
+}
+
+/// First line of every journal file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// The protocol every journaled trial was run under.
+    pub protocol: Protocol,
+}
+
+/// One completed trial: the deterministic key plus the full outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialRecord {
+    /// The campaign this trial belongs to.
+    pub campaign: CampaignKind,
+    /// The paper's error number (1-based, stable across runs).
+    pub error_number: usize,
+    /// Index into [`Protocol::grid`]'s case list (row-major, stable).
+    pub case_index: usize,
+    /// The trial outcome.
+    pub trial: Trial,
+}
+
+/// Errors raised while reading or validating a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The header line is missing or does not parse.
+    Header(String),
+    /// A record line *before* the final one does not parse — the file
+    /// was damaged in a way appending cannot explain.
+    Corrupt {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Parser diagnostics.
+        message: String,
+    },
+    /// The journal does not match the campaign being resumed
+    /// (different protocol, unknown error numbers, out-of-range cases).
+    Mismatch(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Header(m) => write!(f, "bad journal header: {m}"),
+            JournalError::Corrupt { line, message } => {
+                write!(f, "corrupt journal record at line {line}: {message}")
+            }
+            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Streams completed trials to an append-only JSONL file with batched
+/// `fsync`.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    buffer: String,
+    unsynced: usize,
+    batch_size: usize,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal for a fresh campaign and writes
+    /// the header, synced, before returning.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn create(path: &Path, protocol: &Protocol) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let mut writer = JournalWriter {
+            file,
+            buffer: String::new(),
+            unsynced: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        };
+        let header = JournalHeader {
+            format_version: FORMAT_VERSION,
+            protocol: protocol.clone(),
+        };
+        let line = serde_json::to_string(&header).expect("header serialises");
+        writer.buffer.push_str(&line);
+        writer.buffer.push('\n');
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Opens an existing journal for appending (resume); creates a
+    /// fresh one if `path` does not exist or is empty. A torn final
+    /// line left by a crash is truncated away so new records start on
+    /// a fresh line. Header validity is the reader's concern —
+    /// [`Journal::load`] before resuming.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn append_to(path: &Path, protocol: &Protocol) -> io::Result<Self> {
+        let exists = std::fs::metadata(path)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        if !exists {
+            return Self::create(path, protocol);
+        }
+        let content = std::fs::read(path)?;
+        if let Some(pos) = content.iter().rposition(|&b| b == b'\n') {
+            if pos + 1 < content.len() {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len((pos + 1) as u64)?;
+                f.sync_data()?;
+            }
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(JournalWriter {
+            file,
+            buffer: String::new(),
+            unsynced: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        })
+    }
+
+    /// Sets the records-per-`fsync` batch size (min 1).
+    pub fn batch_size(mut self, records: usize) -> Self {
+        self.batch_size = records.max(1);
+        self
+    }
+
+    /// Appends one completed trial; flushes and syncs when the batch
+    /// fills.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure while flushing a full batch.
+    pub fn append(
+        &mut self,
+        campaign: CampaignKind,
+        error_number: usize,
+        case_index: usize,
+        trial: &Trial,
+    ) -> io::Result<()> {
+        let record = TrialRecord {
+            campaign,
+            error_number,
+            case_index,
+            trial: trial.clone(),
+        };
+        let line = serde_json::to_string(&record).expect("record serialises");
+        self.buffer.push_str(&line);
+        self.buffer.push('\n');
+        self.unsynced += 1;
+        if self.unsynced >= self.batch_size {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records to disk and `fsync`s.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn sync(&mut self) -> io::Result<()> {
+        if !self.buffer.is_empty() {
+            self.file.write_all(self.buffer.as_bytes())?;
+            self.buffer.clear();
+        }
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        // Best-effort final flush; errors here have nowhere to go.
+        let _ = self.sync();
+    }
+}
+
+/// A parsed journal: header plus every intact record in file order.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    /// The campaign configuration the trials were run under.
+    pub header: JournalHeader,
+    /// Every intact record, in append order (duplicates possible after
+    /// unusual crash/retry interleavings — replay helpers deduplicate).
+    pub records: Vec<TrialRecord>,
+    /// Whether a partial trailing line was dropped (crash evidence).
+    pub truncated_tail: bool,
+}
+
+impl Journal {
+    /// Loads and parses a journal file. A partial final line (the
+    /// expected signature of a crash mid-append) is dropped and flagged
+    /// in [`Journal::truncated_tail`]; unparseable content anywhere
+    /// else is a [`JournalError::Corrupt`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a bad header, or mid-file corruption.
+    pub fn load(path: &Path) -> Result<Journal, JournalError> {
+        let content = std::fs::read_to_string(path)?;
+        let mut lines = content
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .peekable();
+        let Some((_, header_line)) = lines.next() else {
+            return Err(JournalError::Header("empty journal file".to_owned()));
+        };
+        let header: JournalHeader =
+            serde_json::from_str(header_line).map_err(|e| JournalError::Header(e.to_string()))?;
+        if header.format_version != FORMAT_VERSION {
+            return Err(JournalError::Header(format!(
+                "unsupported format version {} (this build reads {})",
+                header.format_version, FORMAT_VERSION
+            )));
+        }
+        let mut records = Vec::new();
+        let mut truncated_tail = false;
+        while let Some((index, line)) = lines.next() {
+            match serde_json::from_str::<TrialRecord>(line) {
+                Ok(record) => records.push(record),
+                Err(e) if lines.peek().is_none() => {
+                    // Torn final line: the crash signature. Drop it;
+                    // the trial will simply be re-run.
+                    let _ = e;
+                    truncated_tail = true;
+                }
+                Err(e) => {
+                    return Err(JournalError::Corrupt {
+                        line: index + 1,
+                        message: e.to_string(),
+                    });
+                }
+            }
+        }
+        Ok(Journal {
+            header,
+            records,
+            truncated_tail,
+        })
+    }
+
+    /// Rebuilds both campaign reports from this journal using the
+    /// paper's error sets ([`error_set::e1`] / [`error_set::e2`]).
+    /// Duplicate keys are counted once (first occurrence wins; trials
+    /// are deterministic per key, so duplicates are identical anyway).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Mismatch`] when a record names an unknown error
+    /// number or an out-of-range case index.
+    pub fn replay(&self) -> Result<(E1Report, E2Report), JournalError> {
+        let e1_errors = error_set::e1();
+        let e2_errors = error_set::e2();
+        let cases = self.header.protocol.cases_per_error();
+        let mut e1_report = E1Report::new();
+        let mut e2_report = E2Report::new();
+        let mut seen = std::collections::HashSet::new();
+        for record in &self.records {
+            if record.case_index >= cases {
+                return Err(JournalError::Mismatch(format!(
+                    "case index {} out of range (protocol has {} cases/error)",
+                    record.case_index, cases
+                )));
+            }
+            if !seen.insert((record.campaign, record.error_number, record.case_index)) {
+                continue;
+            }
+            match record.campaign {
+                CampaignKind::E1 => {
+                    let error = e1_errors
+                        .iter()
+                        .find(|e| e.number == record.error_number)
+                        .ok_or_else(|| {
+                            JournalError::Mismatch(format!(
+                                "unknown E1 error number S{}",
+                                record.error_number
+                            ))
+                        })?;
+                    e1_report.record(error, &record.trial);
+                }
+                CampaignKind::E2 => {
+                    let error = e2_errors
+                        .iter()
+                        .find(|e| e.number == record.error_number)
+                        .ok_or_else(|| {
+                            JournalError::Mismatch(format!(
+                                "unknown E2 error number {}",
+                                record.error_number
+                            ))
+                        })?;
+                    e2_report.record(error, &record.trial);
+                }
+            }
+        }
+        Ok((e1_report, e2_report))
+    }
+}
+
+// HashSet key needs Hash; CampaignKind is a two-variant field-less enum.
+impl std::hash::Hash for CampaignKind {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u8(match self {
+            CampaignKind::E1 => 0,
+            CampaignKind::E2 => 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fic-journal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    fn sample_trial(detected_at: Option<u64>) -> Trial {
+        let mut per_ea_first_ms = [None; 7];
+        if let Some(at) = detected_at {
+            per_ea_first_ms[5] = Some(at);
+        }
+        Trial {
+            failed: detected_at.is_none(),
+            per_ea_first_ms,
+            first_injection_ms: 20,
+            final_distance_m: 187.5,
+        }
+    }
+
+    #[test]
+    fn round_trips_header_and_records() {
+        let path = temp_path("roundtrip");
+        let protocol = Protocol::scaled(2, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        writer
+            .append(CampaignKind::E1, 7, 3, &sample_trial(Some(140)))
+            .unwrap();
+        writer
+            .append(CampaignKind::E2, 7, 0, &sample_trial(None))
+            .unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.header.format_version, FORMAT_VERSION);
+        assert_eq!(journal.header.protocol.cases_per_error(), 4);
+        assert_eq!(journal.records.len(), 2);
+        assert!(!journal.truncated_tail);
+        assert_eq!(journal.records[0].campaign, CampaignKind::E1);
+        assert_eq!(journal.records[0].error_number, 7);
+        assert_eq!(journal.records[0].case_index, 3);
+        assert_eq!(journal.records[0].trial, sample_trial(Some(140)));
+        assert_eq!(journal.records[1].campaign, CampaignKind::E2);
+    }
+
+    #[test]
+    fn batched_records_survive_without_explicit_sync() {
+        let path = temp_path("batch");
+        let protocol = Protocol::scaled(1, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol)
+            .unwrap()
+            .batch_size(2);
+        for k in 0..5 {
+            writer
+                .append(CampaignKind::E1, k + 1, 0, &sample_trial(None))
+                .unwrap();
+        }
+        // Two full batches (4 records) must already be on disk.
+        let on_disk = Journal::load(&path).unwrap();
+        assert!(
+            on_disk.records.len() >= 4,
+            "len = {}",
+            on_disk.records.len()
+        );
+        drop(writer); // Drop flushes the odd record out.
+        assert_eq!(Journal::load(&path).unwrap().records.len(), 5);
+    }
+
+    #[test]
+    fn tolerates_torn_final_line() {
+        let path = temp_path("torn");
+        let protocol = Protocol::scaled(1, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        writer
+            .append(CampaignKind::E1, 1, 0, &sample_trial(Some(60)))
+            .unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"campaign\":\"E1\",\"error_number\":2,\"case_in");
+        std::fs::write(&path, content).unwrap();
+
+        let journal = Journal::load(&path).unwrap();
+        assert_eq!(journal.records.len(), 1);
+        assert!(journal.truncated_tail);
+    }
+
+    #[test]
+    fn rejects_mid_file_corruption() {
+        let path = temp_path("midfile");
+        let protocol = Protocol::scaled(1, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        for k in 0..3 {
+            writer
+                .append(CampaignKind::E1, k + 1, 0, &sample_trial(None))
+                .unwrap();
+        }
+        writer.sync().unwrap();
+        drop(writer);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<&str> = content.lines().collect();
+        lines[2] = "{\"garbage\": tru"; // corrupt a *middle* record
+        std::fs::write(&path, lines.join("\n")).unwrap();
+
+        match Journal::load(&path) {
+            Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_or_bad_header() {
+        let path = temp_path("badheader");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(Journal::load(&path), Err(JournalError::Header(_))));
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(Journal::load(&path), Err(JournalError::Header(_))));
+    }
+
+    #[test]
+    fn replay_deduplicates_and_routes_campaigns() {
+        let path = temp_path("replay");
+        let protocol = Protocol::scaled(2, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        let trial = sample_trial(Some(90));
+        writer.append(CampaignKind::E1, 1, 0, &trial).unwrap();
+        writer.append(CampaignKind::E1, 1, 0, &trial).unwrap(); // dupe
+        writer.append(CampaignKind::E2, 1, 2, &trial).unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+
+        let journal = Journal::load(&path).unwrap();
+        let (e1, e2) = journal.replay().unwrap();
+        assert_eq!(e1.trials(), 1);
+        assert_eq!(e2.trials(), 1);
+    }
+
+    #[test]
+    fn replay_rejects_unknown_keys() {
+        let path = temp_path("badkeys");
+        let protocol = Protocol::scaled(2, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+        writer
+            .append(CampaignKind::E1, 9_999, 0, &sample_trial(None))
+            .unwrap();
+        writer.sync().unwrap();
+        drop(writer);
+        assert!(matches!(
+            Journal::load(&path).unwrap().replay(),
+            Err(JournalError::Mismatch(_))
+        ));
+    }
+}

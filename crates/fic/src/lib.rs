@@ -52,6 +52,7 @@ pub mod error_set;
 pub mod experiment;
 pub mod figures;
 pub mod golden;
+pub mod journal;
 pub mod protocol;
 pub mod recovery_study;
 pub mod results;
@@ -60,5 +61,6 @@ pub mod tables;
 pub use campaign::CampaignRunner;
 pub use error_set::{E1Error, E2Error};
 pub use experiment::{run_trial, Trial};
+pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, TrialRecord};
 pub use protocol::Protocol;
 pub use results::{E1Report, E2Report, SignalRow};

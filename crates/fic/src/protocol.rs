@@ -45,6 +45,16 @@ impl Protocol {
         self.grid.len()
     }
 
+    /// Whether trials recorded under `other` can be reused for this
+    /// protocol (checkpoint/resume): same injection timing, same
+    /// window, same test-case grid. Worker count is execution detail —
+    /// a campaign may resume on a machine with different parallelism.
+    pub fn compatible_with(&self, other: &Protocol) -> bool {
+        self.injection_period_ms == other.injection_period_ms
+            && self.observation_ms == other.observation_ms
+            && self.grid == other.grid
+    }
+
     /// Resolved worker count.
     pub fn effective_workers(&self) -> usize {
         if self.workers > 0 {
@@ -80,6 +90,18 @@ mod tests {
         let p = Protocol::scaled(2, 1_000);
         assert_eq!(p.cases_per_error(), 4);
         assert_eq!(p.observation_ms, 1_000);
+    }
+
+    #[test]
+    fn compatibility_ignores_workers_only() {
+        let mut a = Protocol::scaled(2, 5_000);
+        let mut b = Protocol::scaled(2, 5_000);
+        a.workers = 1;
+        b.workers = 8;
+        assert!(a.compatible_with(&b));
+        b.observation_ms = 6_000;
+        assert!(!a.compatible_with(&b));
+        assert!(!Protocol::scaled(2, 5_000).compatible_with(&Protocol::scaled(3, 5_000)));
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn run_one(
     let period = protocol.injection_period_ms.max(1);
     while system.time_ms() < protocol.observation_ms {
         let t = system.time_ms();
-        if t > 0 && t % period == 0 {
+        if t > 0 && t.is_multiple_of(period) {
             system.inject(flip);
         }
         system.tick();
@@ -73,13 +73,18 @@ fn run_one(
     (outcome.verdict.failed(), !outcome.detections.is_empty())
 }
 
+/// Selects the [`RecoveryStudy`] slot a configuration accumulates into.
+type OutcomeSlot = fn(&mut RecoveryStudy) -> &mut RecoveryOutcome;
+
 /// Runs the three configurations over the given errors and grid.
 pub fn run_study(protocol: &Protocol, errors: &[E1Error]) -> RecoveryStudy {
     let cases = protocol.grid.cases();
     let mut study = RecoveryStudy::default();
-    let configs: [(Option<RecoveryStrategy>, fn(&mut RecoveryStudy) -> &mut RecoveryOutcome); 3] = [
+    let configs: [(Option<RecoveryStrategy>, OutcomeSlot); 3] = [
         (None, |s| &mut s.detection_only),
-        (Some(RecoveryStrategy::HoldPrevious), |s| &mut s.hold_previous),
+        (Some(RecoveryStrategy::HoldPrevious), |s| {
+            &mut s.hold_previous
+        }),
         (Some(RecoveryStrategy::RateProject), |s| &mut s.rate_project),
     ];
     for error in errors {
@@ -98,9 +103,8 @@ pub fn run_study(protocol: &Protocol, errors: &[E1Error]) -> RecoveryStudy {
 
 /// Renders the study as a small table.
 pub fn render(study: &RecoveryStudy) -> String {
-    let mut out = String::from(
-        "Recovery ablation (errors in monitored signals, E1-style protocol)\n",
-    );
+    let mut out =
+        String::from("Recovery ablation (errors in monitored signals, E1-style protocol)\n");
     out.push_str(&format!(
         "{:<18}{:>8}{:>10}{:>12}{:>10}\n",
         "Configuration", "runs", "failures", "fail rate", "detected"

@@ -15,8 +15,7 @@ pub fn versions() -> [EaSet; 8] {
 }
 
 /// Column labels of Tables 7 and 8.
-pub const VERSION_LABELS: [&str; 8] =
-    ["EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7", "All"];
+pub const VERSION_LABELS: [&str; 8] = ["EA1", "EA2", "EA3", "EA4", "EA5", "EA6", "EA7", "All"];
 
 /// One measurement cell: detections split by run outcome, plus latency
 /// aggregations.

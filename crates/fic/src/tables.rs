@@ -45,9 +45,7 @@ pub fn render_table6(errors: &[E1Error], cases_per_error: usize) -> String {
 /// intervals, per signal and per version.
 pub fn render_table7(report: &E1Report) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n",
-    );
+    out.push_str("Table 7. Error detection probabilities (%) with confidence intervals at 95%.\n");
     out.push_str(&header());
     for (k, row) in report.rows.iter().enumerate() {
         out.push_str(&probability_rows(E1Report::row_label(k), &row.cells));
@@ -67,11 +65,7 @@ fn header() -> String {
 
 fn probability_rows(label: &str, cells: &[Cell; 8]) -> String {
     let mut out = String::new();
-    for (measure, pick) in [
-        ("P(d)", 0usize),
-        ("P(d|fail)", 1),
-        ("P(d|no fail)", 2),
-    ] {
+    for (measure, pick) in [("P(d)", 0usize), ("P(d|fail)", 1), ("P(d|no fail)", 2)] {
         out.push_str(&format!(
             "{:<13}{:<13}",
             if pick == 0 { label } else { "" },
@@ -133,18 +127,18 @@ pub fn render_table9(report: &E2Report) -> String {
     out.push_str("Table 9. Results for error set E2.\n");
     out.push_str(&format!(
         "{:<8}{:<14}{:>14} | {:<28}{:<28}\n",
-        "Area", "Measure", "Coverage (%)", "Latency all (min/avg/max)", "Latency failures (min/avg/max)"
+        "Area",
+        "Measure",
+        "Coverage (%)",
+        "Latency all (min/avg/max)",
+        "Latency failures (min/avg/max)"
     ));
     for (area, cell) in [
         ("RAM", &report.ram),
         ("Stack", &report.stack),
         ("Total", &report.total),
     ] {
-        for (measure, pick) in [
-            ("P(d)", 0usize),
-            ("P(d|fail)", 1),
-            ("P(d|no fail)", 2),
-        ] {
+        for (measure, pick) in [("P(d)", 0usize), ("P(d|fail)", 1), ("P(d|no fail)", 2)] {
             let proportion = match pick {
                 0 => &cell.all,
                 1 => &cell.fail,

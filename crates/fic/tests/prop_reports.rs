@@ -1,0 +1,170 @@
+//! Property tests for the campaign report algebra.
+//!
+//! The crash-safe journal and the worker fan-out both rely on reports
+//! being commutative accumulators: trials may be recorded in any order,
+//! partial reports may be merged in any grouping, and the result must
+//! not change. These properties are what makes checkpoint/resume exact
+//! rather than approximate.
+
+use fic::{error_set, CampaignRunner, E1Report, E2Report, Protocol, Trial};
+use proptest::prelude::*;
+
+/// Builds a synthetic trial from compact generator output.
+fn trial(detected_mask: u8, at: u64, failed: bool) -> Trial {
+    let mut per_ea_first_ms = [None; 7];
+    for (ea, slot) in per_ea_first_ms.iter_mut().enumerate() {
+        if detected_mask & (1 << ea) != 0 {
+            *slot = Some(at + ea as u64);
+        }
+    }
+    Trial {
+        failed,
+        per_ea_first_ms,
+        first_injection_ms: 20,
+        final_distance_m: 150.0,
+    }
+}
+
+/// Records each generated trial against a (cyclically chosen) E1 error.
+fn e1_report_from(trials: &[(u8, u64, bool)]) -> E1Report {
+    let errors = error_set::e1();
+    let mut report = E1Report::new();
+    for (k, &(mask, at, failed)) in trials.iter().enumerate() {
+        report.record(&errors[k % errors.len()], &trial(mask, at, failed));
+    }
+    report
+}
+
+fn e2_report_from(trials: &[(u8, u64, bool)]) -> E2Report {
+    let errors = error_set::e2();
+    let mut report = E2Report::new();
+    for (k, &(mask, at, failed)) in trials.iter().enumerate() {
+        report.record(&errors[k % errors.len()], &trial(mask, at, failed));
+    }
+    report
+}
+
+fn trial_strategy() -> impl Strategy<Value = (u8, u64, bool)> {
+    (0u8..128, 21u64..40_000, any::<bool>())
+}
+
+proptest! {
+    /// new() is the identity of merge, on both sides.
+    #[test]
+    fn merge_identity(
+        trials in proptest::collection::vec(trial_strategy(), 0..40),
+    ) {
+        let report = e1_report_from(&trials);
+        let mut left = E1Report::new();
+        left.merge(&report);
+        prop_assert_eq!(&left, &report);
+        let mut right = report.clone();
+        right.merge(&E1Report::new());
+        prop_assert_eq!(&right, &report);
+
+        let e2 = e2_report_from(&trials);
+        let mut left = E2Report::new();
+        left.merge(&e2);
+        prop_assert_eq!(&left, &e2);
+        let mut right = e2.clone();
+        right.merge(&E2Report::new());
+        prop_assert_eq!(&right, &e2);
+    }
+
+    /// Merging partials is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_associative(
+        a in proptest::collection::vec(trial_strategy(), 0..20),
+        b in proptest::collection::vec(trial_strategy(), 0..20),
+        c in proptest::collection::vec(trial_strategy(), 0..20),
+    ) {
+        let (ra, rb, rc) = (e1_report_from(&a), e1_report_from(&b), e1_report_from(&c));
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut bc = rb.clone();
+        bc.merge(&rc);
+        let mut right = ra.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+
+        let (ra, rb, rc) = (e2_report_from(&a), e2_report_from(&b), e2_report_from(&c));
+        let mut left = ra.clone();
+        left.merge(&rb);
+        left.merge(&rc);
+        let mut bc = rb.clone();
+        bc.merge(&rc);
+        let mut right = ra.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Merge order does not matter (commutativity — what makes the
+    /// journal collector order-independent).
+    #[test]
+    fn merge_commutative(
+        a in proptest::collection::vec(trial_strategy(), 1..20),
+        b in proptest::collection::vec(trial_strategy(), 1..20),
+    ) {
+        let (ra, rb) = (e1_report_from(&a), e1_report_from(&b));
+        let mut ab = ra.clone();
+        ab.merge(&rb);
+        let mut ba = rb.clone();
+        ba.merge(&ra);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Recording trials in any order produces the same report (the
+    /// collector folds results in completion order, which varies).
+    #[test]
+    fn record_order_irrelevant(
+        trials in proptest::collection::vec(trial_strategy(), 2..24),
+        rotation in 0usize..24,
+    ) {
+        let errors = error_set::e1();
+        let indexed: Vec<(usize, (u8, u64, bool))> =
+            trials.iter().copied().enumerate().collect();
+        let mut rotated = indexed.clone();
+        let split = rotation % rotated.len();
+        rotated.rotate_left(split);
+
+        let mut in_order = E1Report::new();
+        for &(k, (mask, at, failed)) in &indexed {
+            in_order.record(&errors[k % errors.len()], &trial(mask, at, failed));
+        }
+        let mut shuffled = E1Report::new();
+        for &(k, (mask, at, failed)) in &rotated {
+            shuffled.record(&errors[k % errors.len()], &trial(mask, at, failed));
+        }
+        prop_assert_eq!(in_order, shuffled);
+    }
+}
+
+/// Fan-out determinism: the same campaign run serially and with 4 and 8
+/// workers produces identical reports. (Not a proptest: each run costs
+/// real simulation time, so the sample is a fixed small campaign.)
+#[test]
+fn fan_out_workers_1_4_8_match_serial() {
+    let errors = error_set::e1();
+    let subset = &errors[78..82]; // spans the EA5/EA6 signal boundary
+    let mut reports = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let mut protocol = Protocol::scaled(2, 1_200);
+        protocol.workers = workers;
+        reports.push(CampaignRunner::new(protocol).run_e1(subset));
+    }
+    assert_eq!(reports[0], reports[1], "1 worker vs 4 workers");
+    assert_eq!(reports[0], reports[2], "1 worker vs 8 workers");
+    assert_eq!(reports[0].trials(), 4 * 4);
+
+    let e2_errors = error_set::e2();
+    let e2_subset = &e2_errors[..3];
+    let mut e2_reports = Vec::new();
+    for workers in [1usize, 4, 8] {
+        let mut protocol = Protocol::scaled(2, 1_200);
+        protocol.workers = workers;
+        e2_reports.push(CampaignRunner::new(protocol).run_e2(e2_subset));
+    }
+    assert_eq!(e2_reports[0], e2_reports[1], "E2: 1 worker vs 4 workers");
+    assert_eq!(e2_reports[0], e2_reports[2], "E2: 1 worker vs 8 workers");
+}

@@ -45,7 +45,10 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::OutOfBounds { addr, width, size } => {
-                write!(f, "access of {width} byte(s) at {addr} exceeds bank of {size} bytes")
+                write!(
+                    f,
+                    "access of {width} byte(s) at {addr} exceeds bank of {size} bytes"
+                )
             }
             Error::BadBit { bit } => write!(f, "bit index {bit} is outside 0..8"),
             Error::OutOfMemory {

@@ -38,7 +38,10 @@ impl Ram {
     }
 
     fn bounds(&self, addr: usize, width: usize) -> Result<(), Error> {
-        if addr.checked_add(width).is_none_or(|end| end > self.bytes.len()) {
+        if addr
+            .checked_add(width)
+            .is_none_or(|end| end > self.bytes.len())
+        {
             return Err(Error::OutOfBounds {
                 addr,
                 width,

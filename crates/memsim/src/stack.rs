@@ -115,10 +115,7 @@ impl StackLayout {
         liveness: Liveness,
     ) -> Result<(), Error> {
         let module = module.into();
-        let top = self
-            .frames
-            .last()
-            .map_or(self.size, |f| f.base);
+        let top = self.frames.last().map_or(self.size, |f| f.base);
         let size = control + locals;
         if size > top {
             return Err(Error::StackOverflow { frame: module });
@@ -183,7 +180,8 @@ mod tests {
         let mut l = StackLayout::new(100);
         l.push_frame("KERNEL", 8, 0, Liveness::Always).unwrap();
         l.push_frame("CALC", 4, 20, Liveness::Always).unwrap();
-        l.push_frame("V_REG", 4, 6, Liveness::WhenScheduled).unwrap();
+        l.push_frame("V_REG", 4, 6, Liveness::WhenScheduled)
+            .unwrap();
         l
     }
 
@@ -218,7 +216,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match l.classify(75) {
-            StackHit::Frame { module, part, offset, .. } => {
+            StackHit::Frame {
+                module,
+                part,
+                offset,
+                ..
+            } => {
                 assert_eq!(module, "CALC");
                 assert_eq!(part, FramePart::Locals);
                 assert_eq!(offset, 3);
@@ -239,7 +242,9 @@ mod tests {
     fn periodic_frame_liveness_reported() {
         let l = layout();
         match l.classify(60) {
-            StackHit::Frame { module, liveness, .. } => {
+            StackHit::Frame {
+                module, liveness, ..
+            } => {
                 assert_eq!(module, "V_REG");
                 assert_eq!(liveness, Liveness::WhenScheduled);
             }

@@ -113,9 +113,7 @@ mod tests {
 
     fn target() -> TargetMemory {
         let mut layout = StackLayout::new(STACK_BYTES);
-        layout
-            .push_frame("CALC", 4, 16, Liveness::Always)
-            .unwrap();
+        layout.push_frame("CALC", 4, 16, Liveness::Always).unwrap();
         TargetMemory::new(layout)
     }
 

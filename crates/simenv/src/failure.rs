@@ -211,12 +211,7 @@ impl FailureMonitor {
 mod tests {
     use super::*;
 
-    fn state(
-        retardation_ms2: f64,
-        force_n: f64,
-        distance_m: f64,
-        arrested: bool,
-    ) -> PlantState {
+    fn state(retardation_ms2: f64, force_n: f64, distance_m: f64, arrested: bool) -> PlantState {
         PlantState {
             time_ms: 0,
             distance_m,
@@ -240,10 +235,7 @@ mod tests {
     fn fmax_interpolates_between_points() {
         let table = FmaxTable::specification();
         let mid = table.limit_n(9_500.0, 43.75);
-        let corners = [
-            table.limit_n(8_000.0, 40.0),
-            table.limit_n(11_000.0, 47.5),
-        ];
+        let corners = [table.limit_n(8_000.0, 40.0), table.limit_n(11_000.0, 47.5)];
         assert!(mid > corners[0].min(corners[1]));
         assert!(mid < corners[0].max(corners[1]));
     }

@@ -29,7 +29,7 @@ impl Readout {
 
     /// Offers a state; it is stored if it falls on the capture grid.
     pub fn offer(&mut self, state: &PlantState) {
-        if self.every_ms != 0 && state.time_ms % self.every_ms == 0 {
+        if self.every_ms != 0 && state.time_ms.is_multiple_of(self.every_ms) {
             self.samples.push(*state);
         }
     }

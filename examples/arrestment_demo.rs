@@ -53,7 +53,7 @@ fn main() {
     let flip = BitFlip::new(Region::AppRam, set_addr + 1, 7);
     while system.time_ms() < 40_000 {
         let t = system.time_ms();
-        if t > 0 && t % 20 == 0 {
+        if t > 0 && t.is_multiple_of(20) {
             system.inject(flip);
         }
         system.tick();

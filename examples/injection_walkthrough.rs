@@ -7,8 +7,8 @@
 //! cargo run --release --example injection_walkthrough
 //! ```
 
-use ea_repro::fic::{error_set, run_trial, Protocol};
 use ea_repro::arrestor::{EaId, EaSet};
+use ea_repro::fic::{error_set, run_trial, Protocol};
 use ea_repro::simenv::TestCase;
 
 fn main() {

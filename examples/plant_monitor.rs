@@ -25,7 +25,10 @@ fn main() -> Result<(), Error> {
     // Step 2: error-propagation pathways.
     process.add_pathway("rpm", "throttle")?;
     process.add_pathway("gear", "throttle")?;
-    println!("errors in `rpm` can reach: {:?}", process.influence_of("rpm"));
+    println!(
+        "errors in `rpm` can reach: {:?}",
+        process.influence_of("rpm")
+    );
 
     // Step 4: FMECA scoring; cabin temperature is not service critical.
     let crit = |s, o, d| Criticality {
@@ -51,7 +54,12 @@ fn main() -> Result<(), Error> {
         .build()?;
     // The gearbox: P-R-N-D-3-2-1 with neighbouring moves only.
     let gear = DiscreteParams::linear(0..7, false)?.with_self_loops();
-    process.place("rpm", ModedParams::new(0, rpm), "GOV", RecoveryStrategy::HoldPrevious)?;
+    process.place(
+        "rpm",
+        ModedParams::new(0, rpm),
+        "GOV",
+        RecoveryStrategy::HoldPrevious,
+    )?;
     process.place(
         "throttle",
         ModedParams::new(0, throttle),

@@ -39,9 +39,7 @@ fn main() -> Result<(), Error> {
     println!("illegal jump detected: {violation}");
 
     // A flip to a value outside the domain entirely.
-    let violation = monitor
-        .check(9)
-        .expect_err("9 is outside the valid domain");
+    let violation = monitor.check(9).expect_err("9 is outside the valid domain");
     println!("outside domain detected: {violation}");
 
     // Mode variables are discrete signals themselves (paper §2.1): build

@@ -27,10 +27,7 @@ fn table7_consistency_invariants() {
             // nd <= ne everywhere.
             assert!(cell.all.detected() <= cell.all.total());
             // fail + no-fail partitions every trial.
-            assert_eq!(
-                cell.fail.total() + cell.no_fail.total(),
-                cell.all.total()
-            );
+            assert_eq!(cell.fail.total() + cell.no_fail.total(), cell.all.total());
             assert_eq!(
                 cell.fail.detected() + cell.no_fail.detected(),
                 cell.all.detected()

@@ -22,7 +22,10 @@ fn every_envelope_corner_arrests_cleanly() {
         assert!(outcome.verdict.arrested);
         assert!(outcome.verdict.final_distance_m < 335.0);
         assert!(outcome.verdict.peak_retardation_g < 2.8);
-        assert!(outcome.detections.is_empty(), "spurious detection in {case:?}");
+        assert!(
+            outcome.detections.is_empty(),
+            "spurious detection in {case:?}"
+        );
     }
 }
 
@@ -60,7 +63,10 @@ fn controller_and_plant_geometry_agree() {
         .signals()
         .distance_cm(system.master().memory().app());
     let delta_m = (plant_x - controller_x_cm as f64 / 100.0).abs();
-    assert!(delta_m < 0.5, "plant {plant_x} m vs controller {controller_x_cm} cm");
+    assert!(
+        delta_m < 0.5,
+        "plant {plant_x} m vs controller {controller_x_cm} cm"
+    );
 }
 
 #[test]
@@ -72,16 +78,13 @@ fn each_monitored_signal_msb_error_is_detected_by_its_own_mechanism() {
         let mut system = System::new(TestCase::new(12_000.0, 55.0), RunConfig::default());
         let flip = BitFlip::new(Region::AppRam, addr + 1, 7);
         while system.time_ms() < 15_000 {
-            if system.time_ms() > 0 && system.time_ms() % 20 == 0 {
+            if system.time_ms() > 0 && system.time_ms().is_multiple_of(20) {
                 system.inject(flip);
             }
             system.tick();
         }
         let outcome = system.finish();
-        let own_detected = outcome
-            .detections
-            .iter()
-            .any(|e| e.monitor.0 == ea.index());
+        let own_detected = outcome.detections.iter().any(|e| e.monitor.0 == ea.index());
         assert!(own_detected, "{ea} never fired for an MSB error in {name}");
     }
 }
@@ -98,7 +101,7 @@ fn injections_into_reserved_ram_are_inert() {
     let mut system = System::new(TestCase::new(12_000.0, 55.0), RunConfig::default());
     let flip = BitFlip::new(Region::AppRam, reserved.addr + reserved.width / 2, 4);
     while system.time_ms() < 20_000 {
-        if system.time_ms() % 20 == 0 && system.time_ms() > 0 {
+        if system.time_ms() > 0 && system.time_ms().is_multiple_of(20) {
             system.inject(flip);
         }
         system.tick();

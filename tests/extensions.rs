@@ -27,7 +27,7 @@ fn recovery_write_back_saves_the_arrestment() {
         };
         let mut system = System::new(case, config);
         while system.time_ms() < 25_000 {
-            if system.time_ms() > 0 && system.time_ms() % 20 == 0 {
+            if system.time_ms() > 0 && system.time_ms().is_multiple_of(20) {
                 system.inject(flip);
             }
             system.tick();
@@ -85,9 +85,7 @@ fn dynamic_constraint_catches_what_static_misses_on_is_value() {
         .with_decrease_profile(profile);
     // At 18 000 pu the valve can move only ~140 pu per test; a +512
     // (bit 9) corruption passes the static band but not the dynamic.
-    assert!(
-        ea_repro::ea_core::assert_cont::check(&static_params, Some(18_000), 18_512).is_ok()
-    );
+    assert!(ea_repro::ea_core::assert_cont::check(&static_params, Some(18_000), 18_512).is_ok());
     assert!(dynamic.check(Some(18_000), 18_512).is_err());
     // And legitimate behaviour low in the range still passes both.
     assert!(dynamic.check(Some(2_000), 2_800).is_ok());
@@ -103,8 +101,7 @@ fn coverage_inversion_is_consistent_on_real_campaign_data() {
     let e1 = runner.run_e1(&e1_subset);
     let e2_subset: Vec<_> = error_set::e2().into_iter().step_by(5).collect();
     let e2 = runner.run_e2(&e2_subset);
-    let analysis =
-        ea_repro::fic::coverage_report::analyse(&e1, &e2).expect("non-empty campaigns");
+    let analysis = ea_repro::fic::coverage_report::analyse(&e1, &e2).expect("non-empty campaigns");
     // Pem is a memory-map fact.
     assert!((analysis.p_em - 14.0 / 417.0).abs() < 1e-12);
     // If Pprop could be inferred, the algebra must reproduce Pdetect.

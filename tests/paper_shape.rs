@@ -91,7 +91,10 @@ fn failing_e1_errors_are_detected() {
         .collect();
     let report = runner.run_e1(&subset);
     let total = &report.totals.cells[7];
-    assert!(total.fail.total() > 0, "MSB errors must cause some failures");
+    assert!(
+        total.fail.total() > 0,
+        "MSB errors must cause some failures"
+    );
     assert_eq!(
         total.fail.detected(),
         total.fail.total(),

@@ -1,0 +1,178 @@
+//! Checkpoint/resume equivalence: a campaign killed mid-flight and
+//! resumed from its journal must produce results byte-identical to the
+//! uninterrupted campaign — including when the kill tore the final
+//! journal line in half.
+
+use std::path::PathBuf;
+
+use fic::journal::{CampaignKind, Journal, JournalWriter};
+use fic::{error_set, CampaignRunner, Protocol};
+
+fn temp_journal(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ea-repro-resume-test-{}-{name}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("campaign.jsonl")
+}
+
+fn small_protocol() -> Protocol {
+    Protocol::scaled(2, 1_200)
+}
+
+/// Kills the campaign "at ~50%": keeps the header and the first half of
+/// the records, then appends `tail` (e.g. a torn half-record).
+fn truncate_journal(path: &PathBuf, tail: &str) {
+    let content = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    let keep = 1 + (lines.len() - 1) / 2;
+    let mut cut = lines[..keep].join("\n");
+    cut.push('\n');
+    cut.push_str(tail);
+    std::fs::write(path, cut).unwrap();
+}
+
+#[test]
+fn resumed_e1_campaign_is_byte_identical() {
+    let path = temp_journal("e1");
+    let protocol = small_protocol();
+    let runner = CampaignRunner::new(protocol.clone());
+    let errors = error_set::e1();
+    let subset = &errors[80..84]; // 4 errors × 4 cases = 16 trials
+
+    let uninterrupted = runner.run_e1(subset);
+
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    let journaled = runner.run_e1_journaled(subset, &mut writer).unwrap();
+    drop(writer);
+    assert_eq!(journaled, uninterrupted);
+
+    // Kill at ~50% with a torn trailing line, then resume.
+    truncate_journal(&path, "{\"campaign\":\"E1\",\"error_number\":83,\"case_");
+    let resumed = runner.resume_e1(subset, &path).unwrap();
+
+    let fresh_bytes = serde_json::to_string_pretty(&uninterrupted).unwrap();
+    let resumed_bytes = serde_json::to_string_pretty(&resumed).unwrap();
+    assert_eq!(
+        fresh_bytes, resumed_bytes,
+        "resumed E1 report must be byte-identical"
+    );
+
+    // The journal is whole again and contains each key exactly once.
+    let journal = Journal::load(&path).unwrap();
+    assert!(!journal.truncated_tail);
+    let mut keys: Vec<_> = journal
+        .records
+        .iter()
+        .map(|r| (r.error_number, r.case_index))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), 4 * 4);
+}
+
+#[test]
+fn resumed_e2_campaign_is_byte_identical() {
+    let path = temp_journal("e2");
+    let protocol = small_protocol();
+    let runner = CampaignRunner::new(protocol.clone());
+    let errors = error_set::e2();
+    let subset = &errors[..4];
+
+    let uninterrupted = runner.run_e2(subset);
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    let _ = runner.run_e2_journaled(subset, &mut writer).unwrap();
+    drop(writer);
+
+    truncate_journal(&path, "{\"not even\": \"a record");
+    let resumed = runner.resume_e2(subset, &path).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&uninterrupted).unwrap(),
+        serde_json::to_string_pretty(&resumed).unwrap(),
+        "resumed E2 report must be byte-identical"
+    );
+}
+
+#[test]
+fn tables_from_resumed_journal_match_uninterrupted() {
+    // The acceptance path: kill at ~50%, resume, regenerate the tables
+    // from the journal — text identical to the uninterrupted run's.
+    let path = temp_journal("tables");
+    let protocol = small_protocol();
+    let runner = CampaignRunner::new(protocol.clone());
+    let e1_errors: Vec<_> = error_set::e1()[..4].to_vec();
+    let e2_errors: Vec<_> = error_set::e2()[..3].to_vec();
+
+    let e1_full = runner.run_e1(&e1_errors);
+    let e2_full = runner.run_e2(&e2_errors);
+
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    runner.run_e1_journaled(&e1_errors, &mut writer).unwrap();
+    runner.run_e2_journaled(&e2_errors, &mut writer).unwrap();
+    drop(writer);
+    truncate_journal(&path, "");
+
+    let e1_resumed = runner.resume_e1(&e1_errors, &path).unwrap();
+    let e2_resumed = runner.resume_e2(&e2_errors, &path).unwrap();
+
+    assert_eq!(
+        fic::tables::render_table7(&e1_full),
+        fic::tables::render_table7(&e1_resumed)
+    );
+    assert_eq!(
+        fic::tables::render_table8(&e1_full),
+        fic::tables::render_table8(&e1_resumed)
+    );
+    assert_eq!(
+        fic::tables::render_table9(&e2_full),
+        fic::tables::render_table9(&e2_resumed)
+    );
+}
+
+#[test]
+fn corrupt_trailing_line_is_tolerated_but_midfile_corruption_is_not() {
+    let path = temp_journal("corruption");
+    let protocol = small_protocol();
+    let runner = CampaignRunner::new(protocol.clone());
+    let errors = error_set::e1();
+    let subset = &errors[0..2];
+
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    runner.run_e1_journaled(subset, &mut writer).unwrap();
+    drop(writer);
+
+    // Trailing garbage (torn write): load succeeds, flag set.
+    let mut content = std::fs::read_to_string(&path).unwrap();
+    let intact_records = content.lines().count() - 1;
+    content.push_str("{\"campaign\":\"E1\",\"err");
+    std::fs::write(&path, &content).unwrap();
+    let journal = Journal::load(&path).unwrap();
+    assert!(journal.truncated_tail);
+    assert_eq!(journal.records.len(), intact_records);
+
+    // The same garbage *mid-file* is real corruption: load must refuse.
+    let lines: Vec<&str> = content.lines().collect();
+    let mut reordered: Vec<&str> = Vec::new();
+    reordered.extend(&lines[..2]);
+    reordered.push("{\"campaign\":\"E1\",\"err");
+    reordered.extend(&lines[2..lines.len() - 1]);
+    std::fs::write(&path, reordered.join("\n")).unwrap();
+    assert!(Journal::load(&path).is_err());
+
+    // A journal recording a different trial key set is a mismatch, not
+    // silently merged: resuming with a disjoint error subset fails.
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    runner.run_e1_journaled(subset, &mut writer).unwrap();
+    drop(writer);
+    let other_subset = &errors[50..52];
+    assert!(runner.resume_e1(other_subset, &path).is_err());
+
+    // Journal streams are also campaign-kind safe: E1 records never
+    // leak into an E2 resume (kind tags differ).
+    let journal = Journal::load(&path).unwrap();
+    assert!(journal
+        .records
+        .iter()
+        .all(|r| r.campaign == CampaignKind::E1));
+}

@@ -1,0 +1,229 @@
+//! Offline, vendored stand-in for `crossbeam`: the multi-producer,
+//! multi-consumer unbounded channel surface the campaign fan-out uses,
+//! implemented over `std` mutex + condvar. Semantics match crossbeam's:
+//! cloneable senders and receivers, `recv` blocks until a message
+//! arrives or every sender is gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+    }
+
+    /// The sending half; cloneable across worker threads.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; cloneable across worker threads.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// All receivers disconnected; carries the rejected message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// `try_recv` outcomes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now, but senders remain.
+        Empty,
+        /// Nothing queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        ///
+        /// # Errors
+        ///
+        /// Unbounded queues with live receivers always accept; kept for
+        /// crossbeam signature compatibility.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            queue.push_back(message);
+            drop(queue);
+            self.inner.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.inner.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or the channel disconnects.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when every sender is dropped and the queue is
+        /// empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(message) = queue.pop_front() {
+                    return Ok(message);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self.inner.ready.wait(queue).expect("channel poisoned");
+            }
+        }
+
+        /// Dequeues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.inner.queue.lock().expect("channel poisoned");
+            if let Some(message) = queue.pop_front() {
+                return Ok(message);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_out_fan_in() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = workers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_unblocks_on_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let handle = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(tx);
+        assert!(handle.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn iterator_drains_until_disconnect() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,533 @@
+//! Offline, vendored stand-in for `proptest`: the strategy combinators
+//! and macros this workspace's property tests use, running each test
+//! over a deterministic stream of generated inputs (seeded from the test
+//! name, so failures reproduce run-to-run). No shrinking: a failing case
+//! panics with the generated inputs printed.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the simulations behind these
+        // tests make that minutes of wall clock, so default lower and
+        // let hot spots opt up via proptest_config.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator driving strategies (xoshiro256++, deterministic).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A generator seeded from arbitrary bytes (e.g. the test name).
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values (proptest's `prop_map`).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                (self.start as $wide).wrapping_add(rng.below(span) as $wide) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as $wide).wrapping_add(rng.below(span + 1) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64
+);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    /// Draws one unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The full-domain strategy for an [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, btree_set}`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of `size` distinct elements drawn from `element`.
+    /// Retries duplicates, so the element domain must comfortably exceed
+    /// the requested size.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord + std::fmt::Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 100 + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not counted.
+    Reject,
+    /// `prop_assert!`-family failure: the property is violated.
+    Fail(String),
+}
+
+/// Drives one property test: generates inputs until `config.cases`
+/// cases ran (rejections excluded, up to a cap), panicking on the first
+/// failure with the inputs that produced it.
+pub fn run_proptest<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(20).max(100);
+    while passed < config.cases && attempts < max_attempts {
+        attempts += 1;
+        let value = strategy.generate(&mut rng);
+        let repr = format!("{value:?}");
+        match test(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` failed after {passed} passing case(s): \
+                     {message}\n  inputs: {repr}"
+                );
+            }
+        }
+    }
+    assert!(
+        passed > 0,
+        "property `{name}`: every generated case was rejected by prop_assume!"
+    );
+}
+
+/// The strategies this workspace imports from `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts inside a property test; fails the case instead of panicking
+/// so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Builds the strategy tuple for a `proptest!` parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_strategies {
+    (@acc [$($acc:tt)*]) => { ($($acc)*) };
+    (@acc [$($acc:tt)*] $name:ident in $strat:expr) => {
+        ($($acc)* $strat,)
+    };
+    (@acc [$($acc:tt)*] $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__prop_strategies!(@acc [$($acc)* $strat,] $($rest)*)
+    };
+    (@acc [$($acc:tt)*] $name:ident : $ty:ty) => {
+        ($($acc)* $crate::any::<$ty>(),)
+    };
+    (@acc [$($acc:tt)*] $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__prop_strategies!(@acc [$($acc)* $crate::any::<$ty>(),] $($rest)*)
+    };
+    ($($params:tt)*) => { $crate::__prop_strategies!(@acc [] $($params)*) };
+}
+
+/// Builds the closure binding pattern for a `proptest!` parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_patterns {
+    (@acc [$($acc:tt)*]) => { ($($acc)*) };
+    (@acc [$($acc:tt)*] $name:ident in $strat:expr) => { ($($acc)* $name,) };
+    (@acc [$($acc:tt)*] $name:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__prop_patterns!(@acc [$($acc)* $name,] $($rest)*)
+    };
+    (@acc [$($acc:tt)*] $name:ident : $ty:ty) => { ($($acc)* $name,) };
+    (@acc [$($acc:tt)*] $name:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__prop_patterns!(@acc [$($acc)* $name,] $($rest)*)
+    };
+    ($($params:tt)*) => { $crate::__prop_patterns!(@acc [] $($params)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $test_name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $test_name() {
+            let config = $cfg;
+            let strategy = $crate::__prop_strategies!($($params)*);
+            $crate::run_proptest(
+                &config,
+                stringify!($test_name),
+                &strategy,
+                |$crate::__prop_patterns!($($params)*)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// The `proptest!` block macro: wraps each contained `#[test] fn` in a
+/// deterministic generate-and-check loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn named_rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(v in 10i64..20, w in 0u8..=4, f in 0.0f64..=1.0) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!(w <= 4);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn typed_params_work(x: u16, flag: bool) {
+            prop_assume!(flag); // exercises the rejection path
+            prop_assert_eq!(u32::from(x) * 2, u32::from(x) + u32::from(x));
+        }
+
+        #[test]
+        fn mapped_tuples_work(pair in (1i64..5, 1i64..5).prop_map(|(a, b)| a * b)) {
+            prop_assert!((1..25).contains(&pair));
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            items in crate::collection::vec(0u64..100, 1..30),
+            set in crate::collection::btree_set(-50i64..50, 2..10),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 30);
+            prop_assert!(set.len() >= 2 && set.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_apply(_v in 0u8..10) {
+            prop_assert!(true);
+        }
+    }
+}
