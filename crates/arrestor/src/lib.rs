@@ -53,6 +53,7 @@ pub mod node;
 pub mod signals;
 pub mod stackmodel;
 pub mod system;
+pub mod trace;
 
 pub use detectors::{Detectors, EaId, EaSet};
 pub use instrument::{build_detectors, placement_plan};
@@ -60,3 +61,4 @@ pub use kernel::{ControlFlowFault, KernelState};
 pub use node::{MasterNode, SlaveNode};
 pub use signals::{CalcLocals, SignalMap, SlaveSignals};
 pub use system::{RunConfig, RunOutcome, System};
+pub use trace::{FieldValue, SignalSnapshot, TickRecord, Trace};

@@ -163,6 +163,29 @@ impl MasterNode {
         }
     }
 
+    /// Snapshot of the node's visible program state (scalar RAM
+    /// variables plus CALC's stack locals) for trace capture.
+    pub fn snapshot(&self) -> crate::trace::SignalSnapshot {
+        let ram = self.mem.app();
+        let stack = self.mem.stack();
+        crate::trace::SignalSnapshot {
+            mscnt: self.sig.mscnt.read(ram),
+            ms_slot_nbr: self.sig.ms_slot_nbr.read(ram),
+            pulscnt: self.sig.pulscnt.read(ram),
+            i: self.sig.i.read(ram),
+            set_value: self.sig.set_value.read(ram),
+            is_value: self.sig.is_value.read(ram),
+            out_value: self.sig.out_value.read(ram),
+            sys_mode: self.sig.sys_mode.read(ram),
+            set_target: self.sig.set_target.read(ram),
+            link_out: self.sig.link_out.read(ram),
+            pid_integ: self.sig.pid_integ.read(ram),
+            pid_prev_err: self.sig.pid_prev_err.read(ram),
+            calc_v_est: self.locals.v_est.read(stack),
+            calc_stall_ms: self.locals.stall_ms.read(stack),
+        }
+    }
+
     /// The detection log of the node's assertions.
     pub fn detectors(&self) -> &Detectors {
         &self.det

@@ -27,6 +27,11 @@ pub struct RunConfig {
     /// When set, continuous rate bounds are scaled to this percentage
     /// of their derived values (parameter-calibration sweeps).
     pub rate_scale_percent: Option<u16>,
+    /// When set, every tick appends a [`crate::trace::TickRecord`] to
+    /// the run's [`crate::trace::Trace`] (returned in
+    /// [`RunOutcome::trace`]). Disabled recording costs one `Option`
+    /// check per tick and allocates nothing.
+    pub trace: bool,
 }
 
 impl Default for RunConfig {
@@ -38,6 +43,7 @@ impl Default for RunConfig {
             constraints: Constraints::default(),
             recovery: None,
             rate_scale_percent: None,
+            trace: false,
         }
     }
 }
@@ -55,6 +61,8 @@ pub struct RunOutcome {
     pub duration_ms: Millis,
     /// Captured plant readout (empty unless configured).
     pub readout: Readout,
+    /// Per-tick trace (present only with [`RunConfig::trace`]).
+    pub trace: Option<crate::trace::Trace>,
 }
 
 /// Master node + slave node + plant, stepped together at 1 ms.
@@ -70,6 +78,7 @@ pub struct System {
     time_ms: Millis,
     master_valve_pu: u16,
     slave_valve_pu: u16,
+    trace: Option<crate::trace::Trace>,
 }
 
 impl System {
@@ -84,6 +93,9 @@ impl System {
             ),
             (None, None) => MasterNode::new(mass_cfg, config.version),
         };
+        let trace = config.trace.then(|| {
+            crate::trace::Trace::with_capacity(usize::try_from(config.observation_ms).unwrap_or(0))
+        });
         System {
             plant: Plant::new(case),
             master,
@@ -95,6 +107,7 @@ impl System {
             time_ms: 0,
             master_valve_pu: 0,
             slave_valve_pu: 0,
+            trace,
         }
     }
 
@@ -122,14 +135,18 @@ impl System {
     pub fn tick(&mut self) {
         self.time_ms += 1;
 
-        // Sensors sample the plant at the start of the tick.
-        let sensors = SensorFrame {
-            pulse_total: self.plant.pulse_count(),
-            pressure_units: self.plant.pressure_units_master(),
-        };
-        self.master_valve_pu = self.master.tick(sensors, self.time_ms);
+        // Sensors sample the plant at the start of the tick; one frame
+        // feeds both nodes and the trace recorder.
+        let sensors = self.plant.sensor_readout();
+        self.master_valve_pu = self.master.tick(
+            SensorFrame {
+                pulse_total: sensors.pulse_total,
+                pressure_units: sensors.pressure_master_units,
+            },
+            self.time_ms,
+        );
         let incoming = self.master.take_comm();
-        self.slave_valve_pu = self.slave.tick(self.plant.pressure_units_slave(), incoming);
+        self.slave_valve_pu = self.slave.tick(sensors.pressure_slave_units, incoming);
 
         let state = self.plant.step(
             f64::from(self.master_valve_pu) / simenv::spec::PRESSURE_UNITS_PER_BAR,
@@ -137,6 +154,21 @@ impl System {
         );
         self.failmon.observe(&state);
         self.readout.offer(&state);
+
+        if let Some(trace) = &mut self.trace {
+            trace.push(crate::trace::TickRecord {
+                t_ms: self.time_ms,
+                signals: self.master.snapshot(),
+                master_valve_pu: self.master_valve_pu,
+                slave_valve_pu: self.slave_valve_pu,
+                slave_set_value: self.slave.set_value(),
+                sensor_pulse_total: sensors.pulse_total,
+                sensor_pressure_units: sensors.pressure_master_units,
+                hung: self.master.hung(),
+                calc_halted: self.master.calc_halted(),
+                plant: state,
+            });
+        }
     }
 
     /// Whether any assertion has fired so far.
@@ -183,6 +215,7 @@ impl System {
             first_detection_ms,
             duration_ms: self.time_ms,
             readout: self.readout,
+            trace: self.trace,
         }
     }
 }

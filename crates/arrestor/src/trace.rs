@@ -1,0 +1,330 @@
+//! Deterministic per-tick trace capture of the complete system state.
+//!
+//! A [`Trace`] records, for every 1 ms tick, the master node's visible
+//! program state (the seven monitored signals of paper Table 4 plus the
+//! unmonitored coupling variables and CALC's stack locals), the sensor
+//! frame delivered that tick, the valve commands, the kernel's
+//! control-flow flags and the plant state after integration. Because
+//! the whole system is deterministic, the trace of a fault-free run is
+//! a golden reference: an injected run can be compared tick by tick
+//! against it to find the *first-divergence slot* — the instant an
+//! error becomes a data error — and the propagation path through the
+//! signal graph (the differential oracle in `fic::trace`).
+//!
+//! Recording is opt-in via [`crate::RunConfig::trace`] and costs
+//! nothing when disabled: [`crate::System::tick`] checks a single
+//! `Option` and takes no snapshot.
+
+use serde::{Deserialize, Serialize};
+use simenv::PlantState;
+
+/// The master node's visible program state after one tick: every
+/// scalar RAM variable of [`crate::SignalMap`] plus the CALC stack
+/// locals that carry the velocity estimate between background passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalSnapshot {
+    /// `mscnt` — millisecond clock (CLOCK).
+    pub mscnt: u16,
+    /// `ms_slot_nbr` — scheduler slot counter (CLOCK).
+    pub ms_slot_nbr: u16,
+    /// `pulscnt` — accumulated rotation pulses (DIST_S).
+    pub pulscnt: u16,
+    /// `i` — checkpoint counter (CALC).
+    pub i: u16,
+    /// `SetValue` — set-point pressure, pu (CALC → V_REG).
+    pub set_value: u16,
+    /// `IsValue` — measured pressure, pu (PRES_S → V_REG).
+    pub is_value: u16,
+    /// `OutValue` — valve command, pu (V_REG → PRES_A).
+    pub out_value: u16,
+    /// System mode (armed / arresting / stopped).
+    pub sys_mode: u16,
+    /// CALC's slew-limit target for `SetValue`, pu.
+    pub set_target: u16,
+    /// Master → slave set-point mailbox.
+    pub link_out: u16,
+    /// V_REG integral accumulator (bits of an i16).
+    pub pid_integ: u16,
+    /// V_REG previous error (bits of an i16).
+    pub pid_prev_err: u16,
+    /// CALC stack local: estimated speed, cm/s.
+    pub calc_v_est: u16,
+    /// CALC stack local: milliseconds without new pulses.
+    pub calc_stall_ms: u16,
+}
+
+/// One recorded tick: the sensor inputs, the module outputs, the kernel
+/// flags and the plant state after this tick's integration step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickRecord {
+    /// Simulation time after the tick, ms.
+    pub t_ms: u64,
+    /// Master program state after the slot and background modules ran.
+    pub signals: SignalSnapshot,
+    /// Valve command latched by the master's PRES_A, pu.
+    pub master_valve_pu: u16,
+    /// Valve command latched by the slave's PRES_A, pu.
+    pub slave_valve_pu: u16,
+    /// Set point held by the slave node, pu (shows link propagation).
+    pub slave_set_value: u16,
+    /// Rotation-pulse total sampled at the start of the tick.
+    pub sensor_pulse_total: u16,
+    /// Master pressure-sensor reading sampled at the start of the tick,
+    /// pu.
+    pub sensor_pressure_units: u16,
+    /// Whether the master node is hung (control-flow fault).
+    pub hung: bool,
+    /// Whether the CALC background process has halted.
+    pub calc_halted: bool,
+    /// Plant state after this tick's 1 ms integration step.
+    pub plant: PlantState,
+}
+
+/// A dynamically typed field value, used by the differential oracle to
+/// compare records signal by signal. Floats compare bitwise, so a
+/// fault-free re-run is divergence-free only if it is bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldValue {
+    /// An unsigned 16-bit program variable.
+    U16(u16),
+    /// A millisecond timestamp.
+    U64(u64),
+    /// A plant float (compared by bit pattern).
+    F64(f64),
+    /// A flag.
+    Bool(bool),
+}
+
+impl PartialEq for FieldValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (FieldValue::U16(a), FieldValue::U16(b)) => a == b,
+            (FieldValue::U64(a), FieldValue::U64(b)) => a == b,
+            (FieldValue::F64(a), FieldValue::F64(b)) => a.to_bits() == b.to_bits(),
+            (FieldValue::Bool(a), FieldValue::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U16(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Number of named fields every [`TickRecord`] exposes to the oracle.
+pub const FIELD_COUNT: usize = 27;
+
+impl TickRecord {
+    /// The record's comparable fields, as `(signal name, value)` pairs
+    /// in a fixed order: monitored signals first (EA order), then the
+    /// unmonitored program state, the node outputs, the sensors, the
+    /// kernel flags, and finally the plant.
+    pub fn fields(&self) -> [(&'static str, FieldValue); FIELD_COUNT] {
+        let s = &self.signals;
+        let p = &self.plant;
+        [
+            ("SetValue", FieldValue::U16(s.set_value)),
+            ("IsValue", FieldValue::U16(s.is_value)),
+            ("i", FieldValue::U16(s.i)),
+            ("pulscnt", FieldValue::U16(s.pulscnt)),
+            ("ms_slot_nbr", FieldValue::U16(s.ms_slot_nbr)),
+            ("mscnt", FieldValue::U16(s.mscnt)),
+            ("OutValue", FieldValue::U16(s.out_value)),
+            ("sys_mode", FieldValue::U16(s.sys_mode)),
+            ("set_target", FieldValue::U16(s.set_target)),
+            ("link_out", FieldValue::U16(s.link_out)),
+            ("pid_integ", FieldValue::U16(s.pid_integ)),
+            ("pid_prev_err", FieldValue::U16(s.pid_prev_err)),
+            ("calc_v_est", FieldValue::U16(s.calc_v_est)),
+            ("calc_stall_ms", FieldValue::U16(s.calc_stall_ms)),
+            ("master_valve_pu", FieldValue::U16(self.master_valve_pu)),
+            ("slave_valve_pu", FieldValue::U16(self.slave_valve_pu)),
+            ("slave_SetValue", FieldValue::U16(self.slave_set_value)),
+            (
+                "sensor_pulse_total",
+                FieldValue::U16(self.sensor_pulse_total),
+            ),
+            (
+                "sensor_pressure_units",
+                FieldValue::U16(self.sensor_pressure_units),
+            ),
+            ("hung", FieldValue::Bool(self.hung)),
+            ("calc_halted", FieldValue::Bool(self.calc_halted)),
+            ("distance_m", FieldValue::F64(p.distance_m)),
+            ("velocity_ms", FieldValue::F64(p.velocity_ms)),
+            ("retardation_ms2", FieldValue::F64(p.retardation_ms2)),
+            (
+                "pressure_master_bar",
+                FieldValue::F64(p.pressure_master_bar),
+            ),
+            ("pressure_slave_bar", FieldValue::F64(p.pressure_slave_bar)),
+            ("arrested", FieldValue::Bool(p.arrested)),
+        ]
+    }
+
+    /// The scheduler slot this tick executed (0..6).
+    pub const fn slot(&self) -> u16 {
+        self.signals.ms_slot_nbr
+    }
+}
+
+/// A complete per-tick trace of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// One record per tick, in time order.
+    pub records: Vec<TickRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+        }
+    }
+
+    /// An empty trace with room for `ticks` records (one observation
+    /// window's worth).
+    pub fn with_capacity(ticks: usize) -> Self {
+        Trace {
+            records: Vec::with_capacity(ticks),
+        }
+    }
+
+    /// Appends one tick record.
+    pub fn push(&mut self, record: TickRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded ticks.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The record at simulation time `t_ms`, if recorded (records are
+    /// dense from 1 ms, so this is an index lookup).
+    pub fn at(&self, t_ms: u64) -> Option<&TickRecord> {
+        let first = self.records.first()?.t_ms;
+        let idx = usize::try_from(t_ms.checked_sub(first)?).ok()?;
+        let record = self.records.get(idx)?;
+        (record.t_ms == t_ms).then_some(record)
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64) -> TickRecord {
+        TickRecord {
+            t_ms: t,
+            signals: SignalSnapshot {
+                mscnt: t as u16,
+                ms_slot_nbr: (t % 7) as u16,
+                pulscnt: 0,
+                i: 0,
+                set_value: 0,
+                is_value: 0,
+                out_value: 0,
+                sys_mode: 0,
+                set_target: 0,
+                link_out: 0,
+                pid_integ: 0,
+                pid_prev_err: 0,
+                calc_v_est: 0,
+                calc_stall_ms: 0,
+            },
+            master_valve_pu: 0,
+            slave_valve_pu: 0,
+            slave_set_value: 0,
+            sensor_pulse_total: 0,
+            sensor_pressure_units: 0,
+            hung: false,
+            calc_halted: false,
+            plant: PlantState {
+                time_ms: t,
+                distance_m: 0.0,
+                velocity_ms: 0.0,
+                retardation_ms2: 0.0,
+                cable_force_n: 0.0,
+                pressure_master_bar: 0.0,
+                pressure_slave_bar: 0.0,
+                arrested: false,
+            },
+        }
+    }
+
+    #[test]
+    fn fields_cover_every_monitored_signal() {
+        let record = sample(1);
+        let fields = record.fields();
+        assert_eq!(fields.len(), FIELD_COUNT);
+        for name in [
+            "SetValue",
+            "IsValue",
+            "i",
+            "pulscnt",
+            "ms_slot_nbr",
+            "mscnt",
+            "OutValue",
+        ] {
+            assert!(
+                fields.iter().any(|(n, _)| *n == name),
+                "missing monitored signal {name}"
+            );
+        }
+        let mut names: Vec<_> = fields.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FIELD_COUNT, "field names must be unique");
+    }
+
+    #[test]
+    fn field_values_compare_bitwise_for_floats() {
+        assert_eq!(FieldValue::F64(0.1 + 0.2), FieldValue::F64(0.1 + 0.2));
+        assert_ne!(FieldValue::F64(0.1 + 0.2), FieldValue::F64(0.3));
+        assert_eq!(FieldValue::F64(f64::NAN), FieldValue::F64(f64::NAN));
+        assert_ne!(FieldValue::U16(1), FieldValue::U64(1));
+    }
+
+    #[test]
+    fn time_indexed_lookup() {
+        let mut trace = Trace::new();
+        for t in 1..=10 {
+            trace.push(sample(t));
+        }
+        assert_eq!(trace.len(), 10);
+        assert_eq!(trace.at(1).unwrap().t_ms, 1);
+        assert_eq!(trace.at(7).unwrap().t_ms, 7);
+        assert!(trace.at(0).is_none());
+        assert!(trace.at(11).is_none());
+        assert!(Trace::new().at(1).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut trace = Trace::new();
+        trace.push(sample(1));
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+}

@@ -14,6 +14,20 @@ use crate::{Millis, Sample};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MonitorId(pub usize);
 
+/// How far the sample that triggered a detection sits from the
+/// monitor's committed history — verdict metadata that lets a
+/// differential trace oracle cross-check *what the assertion saw*
+/// against *where the traces diverged*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DivergenceMeta {
+    /// The offending sample.
+    pub observed: Sample,
+    /// The last committed (accepted) sample, when history existed.
+    pub committed: Option<Sample>,
+    /// `observed − committed` (signed), when history existed.
+    pub deviation: Option<Sample>,
+}
+
 /// One raised detection: which mechanism fired, when, and why.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DetectionEvent {
@@ -23,6 +37,8 @@ pub struct DetectionEvent {
     pub at: Millis,
     /// The constraint violation that triggered detection.
     pub violation: Violation,
+    /// Observed-vs-committed divergence at detection time.
+    pub divergence: DivergenceMeta,
 }
 
 /// A bank of [`SignalMonitor`]s with a shared, time-stamped detection log.
@@ -158,6 +174,7 @@ impl DetectorBank {
         sample: Sample,
         at: Millis,
     ) -> Result<Checked, Violation> {
+        let committed = self.monitors[id.0].previous();
         let result = self.monitors[id.0].check(sample);
         if let Err(violation) = &result {
             if self.enabled[id.0] {
@@ -166,6 +183,11 @@ impl DetectorBank {
                         monitor: id,
                         at,
                         violation: *violation,
+                        divergence: DivergenceMeta {
+                            observed: sample,
+                            committed,
+                            deviation: committed.map(|c| sample.wrapping_sub(c)),
+                        },
                     });
                 } else {
                     self.suppressed += 1;
@@ -248,6 +270,28 @@ mod tests {
         assert_eq!(events[0].at, 14);
         assert_eq!(events[0].monitor, a);
         assert!(bank.any_detection());
+    }
+
+    #[test]
+    fn detections_carry_divergence_metadata() {
+        let (mut bank, a, _) = bank_with_two();
+        bank.observe(a, 50, 0).unwrap();
+        assert!(bank.observe(a, 99, 7).is_err());
+        let event = bank.events()[0];
+        assert_eq!(event.divergence.observed, 99);
+        assert_eq!(event.divergence.committed, Some(50));
+        assert_eq!(event.divergence.deviation, Some(49));
+    }
+
+    #[test]
+    fn first_sample_violation_has_no_committed_history() {
+        let (mut bank, a, _) = bank_with_two();
+        // Out of range on the very first sample: no history yet.
+        assert!(bank.observe(a, 5_000, 0).is_err());
+        let event = bank.events()[0];
+        assert_eq!(event.divergence.observed, 5_000);
+        assert_eq!(event.divergence.committed, None);
+        assert_eq!(event.divergence.deviation, None);
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub mod verdict;
 
 pub use class::{ContinuousKind, DiscreteKind, MonotonicRate, SequentialKind, SignalClass};
 pub use cont::{ContinuousParams, ContinuousParamsBuilder, Wrap};
-pub use detector::{DetectionEvent, DetectorBank, MonitorId};
+pub use detector::{DetectionEvent, DetectorBank, DivergenceMeta, MonitorId};
 pub use disc::DiscreteParams;
 pub use dynamic::{DynamicParams, RateProfile};
 pub use error::Error;

@@ -7,7 +7,7 @@
 pub use crate::class::{ContinuousKind, DiscreteKind, MonotonicRate, SequentialKind, SignalClass};
 pub use crate::cont::{ContinuousParams, ContinuousParamsBuilder, Wrap};
 pub use crate::coverage::CoverageModel;
-pub use crate::detector::{DetectionEvent, DetectorBank, MonitorId};
+pub use crate::detector::{DetectionEvent, DetectorBank, DivergenceMeta, MonitorId};
 pub use crate::disc::DiscreteParams;
 pub use crate::dynamic::{DynamicParams, RateProfile};
 pub use crate::error::Error;

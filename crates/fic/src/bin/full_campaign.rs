@@ -13,12 +13,20 @@
 //! running anything. `--check-golden` compares the resulting reports
 //! against the committed goldens (exit 1 on divergence) and
 //! `--refresh-golden` rewrites them.
+//!
+//! With `--trace`, failures produce a minimal reproducer: the
+//! differential oracle re-runs the offending ⟨error, case⟩ with
+//! per-tick trace capture, diffs it against the fault-free reference,
+//! and dumps a `fic::trace::ReproBundle` JSON under `--repro-dir`
+//! (default `results/repro`).
 
 use std::time::Instant;
 
 use fic::cli::CliOptions;
+use fic::error_set::E1Error;
 use fic::journal::{Journal, JournalWriter};
-use fic::{error_set, golden, tables, CampaignRunner};
+use fic::trace::{self, ReproBundle, ReproError};
+use fic::{error_set, golden, run_trial_traced, tables, CampaignRunner, Protocol};
 
 fn main() {
     let options = CliOptions::from_env();
@@ -52,7 +60,15 @@ fn main() {
 
         let t0 = Instant::now();
         eprintln!("[1/3] golden-run validation...");
-        golden::validate_fault_free(&protocol).expect("golden runs must be clean");
+        if let Err(violation) = golden::validate_fault_free(&protocol) {
+            eprintln!("golden-run validation FAILED: {violation}");
+            if options.trace {
+                dump_fault_free_repro(&options, &protocol, &violation);
+            } else {
+                eprintln!("hint: re-run with --trace for a reproducer bundle");
+            }
+            std::process::exit(1);
+        }
         eprintln!("      ok ({:.1?})", t0.elapsed());
 
         let runner = CampaignRunner::new(protocol.clone());
@@ -91,6 +107,7 @@ fn main() {
                 e2_report = runner
                     .run_e2_journaled(&e2_errors, &mut writer)
                     .expect("journaled E2 campaign");
+                writer.finish().expect("flush final journal batch");
                 eprintln!("      done ({:.1?})", t2.elapsed());
             }
             None => {
@@ -179,7 +196,92 @@ fn main() {
             for divergence in &divergences {
                 eprintln!("  {divergence}");
             }
+            if options.trace {
+                dump_golden_check_repro(&options, &protocol, &e1_errors, &divergences);
+            } else {
+                eprintln!("hint: re-run with --trace for a reproducer bundle");
+            }
             std::process::exit(1);
         }
+    }
+}
+
+/// Reproducer for a fault-free violation: two independent fault-free
+/// recordings of the offending case. Any divergence between them is
+/// nondeterminism; none means the violation replays deterministically
+/// from the bundled case alone.
+fn dump_fault_free_repro(
+    options: &CliOptions,
+    protocol: &Protocol,
+    violation: &golden::GoldenViolation,
+) {
+    let reference = trace::record_reference(protocol, violation.case);
+    let rerun = trace::record_reference(protocol, violation.case);
+    let bundle = ReproBundle::assemble(
+        format!("{violation}"),
+        protocol,
+        violation.case,
+        None,
+        None,
+        &reference,
+        &rerun,
+    );
+    match trace::write_repro(&options.repro_dir, "fault-free-violation", &bundle) {
+        Ok(path) => eprintln!("reproducer written to {}", path.display()),
+        Err(e) => eprintln!("failed to write reproducer: {e}"),
+    }
+}
+
+/// Reproducer for a golden-table divergence: the first divergent
+/// Table 7/8 row names a monitored signal; its MSB error injected into
+/// the middle grid case, traced and diffed against the fault-free
+/// reference, shows where the behaviour departs. Table 9 (or
+/// Total-row-only) divergences fall back to the mscnt MSB error — the
+/// fastest-detected probe of the whole detection pipeline.
+fn dump_golden_check_repro(
+    options: &CliOptions,
+    protocol: &Protocol,
+    e1_errors: &[E1Error],
+    divergences: &[golden::Divergence],
+) {
+    let named = divergences
+        .iter()
+        .filter(|d| d.table == "Table 7" || d.table == "Table 8")
+        .find_map(|d| {
+            e1_errors
+                .iter()
+                .find(|e| e.signal_bit == 15 && d.location.starts_with(e.signal_name()))
+        });
+    let error = named.or_else(|| {
+        e1_errors
+            .iter()
+            .find(|e| e.signal_bit == 15 && e.signal_name() == "mscnt")
+    });
+    let Some(error) = error else {
+        eprintln!("no representative E1 error found; skipping reproducer");
+        return;
+    };
+    let cases = protocol.grid.cases();
+    let case = cases[cases.len() / 2];
+    let reference = trace::record_reference(protocol, case);
+    let (trial, observed) = run_trial_traced(protocol, error.flip, case);
+    let bundle = ReproBundle::assemble(
+        format!(
+            "golden check diverged ({} cells); probe error S{} on {}",
+            divergences.len(),
+            error.number,
+            error.signal_name()
+        ),
+        protocol,
+        case,
+        Some(ReproError::new(format!("S{}", error.number), error.flip)),
+        Some(trial),
+        &reference,
+        &observed,
+    );
+    let label = format!("golden-check-S{}", error.number);
+    match trace::write_repro(&options.repro_dir, &label, &bundle) {
+        Ok(path) => eprintln!("reproducer written to {}", path.display()),
+        Err(e) => eprintln!("failed to write reproducer: {e}"),
     }
 }

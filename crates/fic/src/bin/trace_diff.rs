@@ -1,0 +1,291 @@
+//! Differential-oracle driver: determinism gate + per-error divergence
+//! analysis.
+//!
+//! Phase 1 (always): every selected test case is recorded twice,
+//! fault-free and independently, and the two traces are diffed. Any
+//! divergence means the simulation is not deterministic — the oracle's
+//! ground assumption — so the run dumps a reproducer bundle and exits 1.
+//!
+//! Phase 2 (with `--error S<k>` or `--e2 <n>`): the chosen error is
+//! injected per the campaign protocol in every selected case; each
+//! traced run is diffed against the memoised fault-free reference. The
+//! report shows the first-divergence instant (time, scheduler slot,
+//! signal), the propagation path, and the detection latency measured by
+//! the assertions — cross-checking Tables 8–9: a detection can never
+//! precede the first divergence. Per monitored signal, the fraction of
+//! cases whose path reaches it is an empirical `Pprop` estimate.
+//!
+//! ```text
+//! trace_diff [--scale n] [--observation ms] [--case idx]
+//!            [--error S<k>] [--e2 <n>] [--repro-dir dir]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fic::error_set;
+use fic::trace::{self, ReferenceCache, ReproBundle, ReproError};
+use fic::{run_trial_traced, Protocol};
+use memsim::BitFlip;
+use simenv::TestCase;
+
+struct Options {
+    scale: Option<usize>,
+    observation_ms: Option<u64>,
+    case: Option<usize>,
+    error: Option<(String, BitFlip)>,
+    repro_dir: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_diff [--scale n] [--observation ms] [--case idx] \
+         [--error S<k>] [--e2 <n>] [--repro-dir dir]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        scale: None,
+        observation_ms: None,
+        case: None,
+        error: None,
+        repro_dir: PathBuf::from("results/repro"),
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--scale" => options.scale = Some(parse_num(&value("--scale"), "--scale")),
+            "--observation" => {
+                options.observation_ms = Some(parse_num(&value("--observation"), "--observation"));
+            }
+            "--case" => options.case = Some(parse_num(&value("--case"), "--case")),
+            "--error" => {
+                let spec = value("--error");
+                let k: usize = parse_num(spec.trim_start_matches(['S', 's']), "--error");
+                let errors = error_set::e1();
+                let Some(error) = errors.get(k.wrapping_sub(1)) else {
+                    eprintln!("--error: S{k} is outside S1..S{}", errors.len());
+                    std::process::exit(2);
+                };
+                options.error = Some((format!("S{k}"), error.flip));
+            }
+            "--e2" => {
+                let k: usize = parse_num(&value("--e2"), "--e2");
+                let errors = error_set::e2();
+                let Some(error) = errors.get(k.wrapping_sub(1)) else {
+                    eprintln!("--e2: {k} is outside 1..{}", errors.len());
+                    std::process::exit(2);
+                };
+                options.error = Some((format!("E2#{k}"), error.flip));
+            }
+            "--repro-dir" => options.repro_dir = PathBuf::from(value("--repro-dir")),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    text.parse().unwrap_or_else(|e| {
+        eprintln!("{flag}: {e}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let options = parse_args();
+    let mut protocol = match options.scale {
+        Some(n) => Protocol::scaled(n, simenv::spec::OBSERVATION_MS),
+        None => Protocol::paper(),
+    };
+    if let Some(ms) = options.observation_ms {
+        protocol.observation_ms = ms;
+    }
+    let all_cases = protocol.grid.cases();
+    let cases: Vec<TestCase> = match options.case {
+        Some(idx) => {
+            let Some(case) = all_cases.get(idx) else {
+                eprintln!("--case: index {idx} is outside 0..{}", all_cases.len());
+                return ExitCode::from(2);
+            };
+            vec![*case]
+        }
+        None => all_cases,
+    };
+    eprintln!(
+        "protocol: {} case(s), {} ms window, {} ms injection period",
+        cases.len(),
+        protocol.observation_ms,
+        protocol.injection_period_ms
+    );
+
+    // Phase 1: determinism gate. Two independent fault-free recordings
+    // of every case must be bit-identical.
+    let cache = ReferenceCache::new(protocol.clone());
+    for (idx, case) in cases.iter().enumerate() {
+        let reference = cache.get(*case);
+        let rerun = trace::record_reference(&protocol, *case);
+        let diff = trace::diff(&reference, &rerun);
+        if diff.diverged() {
+            let first = diff.first.clone().expect("diverged");
+            eprintln!(
+                "NON-DETERMINISTIC: case {idx} (m = {} kg, v = {} m/s) diverged from \
+                 its own re-run at t = {} ms, slot {}, signal {}",
+                case.mass_kg, case.velocity_ms, first.t_ms, first.slot, first.signal
+            );
+            let bundle = ReproBundle::assemble(
+                "fault-free re-run diverged (simulation must be deterministic)",
+                &protocol,
+                *case,
+                None,
+                None,
+                &reference,
+                &rerun,
+            );
+            match trace::write_repro(&options.repro_dir, &format!("nondet-case{idx}"), &bundle) {
+                Ok(path) => eprintln!("reproducer written to {}", path.display()),
+                Err(e) => eprintln!("failed to write reproducer: {e}"),
+            }
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "case {idx:>2} (m = {:>6} kg, v = {:>4} m/s): deterministic over {} ticks",
+            case.mass_kg, case.velocity_ms, diff.compared_ticks
+        );
+    }
+    println!("determinism gate: ok ({} case(s))", cases.len());
+
+    // Phase 2: divergence analysis of one injected error.
+    let Some((label, flip)) = options.error else {
+        return ExitCode::SUCCESS;
+    };
+    println!();
+    println!(
+        "injecting {label} ({:?} byte {} bit {}) every {} ms:",
+        flip.region, flip.addr, flip.bit, protocol.injection_period_ms
+    );
+
+    let monitored = [
+        "SetValue",
+        "IsValue",
+        "i",
+        "pulscnt",
+        "ms_slot_nbr",
+        "mscnt",
+        "OutValue",
+    ];
+    let mut reached = [0usize; 7];
+    let mut diverged_cases = 0usize;
+    let mut failures = 0usize;
+    for (idx, case) in cases.iter().enumerate() {
+        let reference = cache.get(*case);
+        let (trial, observed) = run_trial_traced(&protocol, flip, *case);
+        let diff = trace::diff(&reference, &observed);
+        let detection_ms = trial.first_detection(arrestor::EaSet::ALL);
+        if diff.diverged() {
+            diverged_cases += 1;
+            for (k, signal) in monitored.iter().enumerate() {
+                if diff.reaches(signal) {
+                    reached[k] += 1;
+                }
+            }
+        }
+        let divergence_text = match &diff.first {
+            Some(d) => format!(
+                "first divergence t = {} ms, slot {}, {} ({} -> {})",
+                d.t_ms, d.slot, d.signal, d.reference, d.observed
+            ),
+            None => "no divergence".to_owned(),
+        };
+        let detection_text = match detection_ms {
+            Some(t) => format!(
+                "detected at {t} ms (latency {} ms)",
+                t.saturating_sub(trial.first_injection_ms)
+            ),
+            None => "undetected".to_owned(),
+        };
+        println!("case {idx:>2}: {divergence_text}; {detection_text}");
+        if !diff.path.is_empty() {
+            let shown: Vec<String> = diff
+                .path
+                .iter()
+                .take(6)
+                .map(|d| format!("{}@{}", d.signal, d.t_ms))
+                .collect();
+            let more = diff.path.len().saturating_sub(6);
+            let suffix = if more > 0 {
+                format!(" (+{more} more)")
+            } else {
+                String::new()
+            };
+            println!("         path: {}{}", shown.join(" -> "), suffix);
+        }
+
+        // The oracle's cross-check: an assertion can only fire on state
+        // that differs from the fault-free run, so detection at or
+        // before the first divergence is a contradiction.
+        let contradiction = match (detection_ms, diff.first_divergence_ms()) {
+            (Some(t_detect), Some(t_diverge)) => t_diverge > t_detect,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if contradiction {
+            failures += 1;
+            eprintln!(
+                "ORACLE VIOLATION: case {idx} detected {label} before any recorded \
+                 state diverged from the reference"
+            );
+            let bundle = ReproBundle::assemble(
+                format!("detection precedes first divergence for {label}"),
+                &protocol,
+                *case,
+                Some(ReproError::new(label.clone(), flip)),
+                Some(trial.clone()),
+                &reference,
+                &observed,
+            );
+            match trace::write_repro(
+                &options.repro_dir,
+                &format!("oracle-{label}-case{idx}"),
+                &bundle,
+            ) {
+                Ok(path) => eprintln!("reproducer written to {}", path.display()),
+                Err(e) => eprintln!("failed to write reproducer: {e}"),
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "{label}: {diverged_cases}/{} cases diverged (empirical Pprop to monitored signals):",
+        cases.len()
+    );
+    for (k, signal) in monitored.iter().enumerate() {
+        println!(
+            "  {signal:<12} {:>3}/{} ({:.0}%)",
+            reached[k],
+            cases.len(),
+            100.0 * reached[k] as f64 / cases.len() as f64
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} oracle violation(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

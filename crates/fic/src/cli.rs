@@ -19,7 +19,12 @@
 //!   the committed goldens (exit 1 on divergence);
 //! * `--refresh-golden` — write the campaign's artefacts into the
 //!   golden directory;
-//! * `--golden-dir <dir>` — golden directory (default `results/golden`).
+//! * `--golden-dir <dir>` — golden directory (default `results/golden`);
+//! * `--trace` — enable the differential trace oracle: on a golden-run
+//!   or golden-table failure, dump a minimal reproducer bundle
+//!   (`fic::trace::ReproBundle`) for the offending ⟨error, case⟩;
+//! * `--repro-dir <dir>` — where reproducer bundles go (default
+//!   `results/repro`).
 
 use std::path::PathBuf;
 
@@ -50,6 +55,10 @@ pub struct CliOptions {
     pub refresh_golden: bool,
     /// Where the golden artefacts live.
     pub golden_dir: PathBuf,
+    /// Dump differential-oracle reproducer bundles on failure.
+    pub trace: bool,
+    /// Where reproducer bundles are written.
+    pub repro_dir: PathBuf,
 }
 
 impl Default for CliOptions {
@@ -66,6 +75,8 @@ impl Default for CliOptions {
             check_golden: false,
             refresh_golden: false,
             golden_dir: PathBuf::from("results/golden"),
+            trace: false,
+            repro_dir: PathBuf::from("results/repro"),
         }
     }
 }
@@ -81,7 +92,8 @@ impl CliOptions {
                 eprintln!(
                     "usage: [--scale n] [--observation ms] [--workers n] [--out dir] \
                      [--load file] [--journal file] [--resume] [--from-journal file] \
-                     [--check-golden] [--refresh-golden] [--golden-dir dir]"
+                     [--check-golden] [--refresh-golden] [--golden-dir dir] \
+                     [--trace] [--repro-dir dir]"
                 );
                 std::process::exit(2);
             }
@@ -134,6 +146,8 @@ impl CliOptions {
                 "--check-golden" => options.check_golden = true,
                 "--refresh-golden" => options.refresh_golden = true,
                 "--golden-dir" => options.golden_dir = PathBuf::from(value("--golden-dir")?),
+                "--trace" => options.trace = true,
+                "--repro-dir" => options.repro_dir = PathBuf::from(value("--repro-dir")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -182,6 +196,16 @@ mod tests {
         assert_eq!(options.golden_dir, PathBuf::from("results/golden"));
         assert!(!options.resume && !options.check_golden && !options.refresh_golden);
         assert!(options.journal.is_none() && options.from_journal.is_none());
+        assert!(!options.trace);
+        assert_eq!(options.repro_dir, PathBuf::from("results/repro"));
+    }
+
+    #[test]
+    fn parses_trace_flags() {
+        let options = CliOptions::parse(&args(&["--trace", "--repro-dir", "/tmp/repro"])).unwrap();
+        assert!(options.trace);
+        assert_eq!(options.repro_dir, PathBuf::from("/tmp/repro"));
+        assert!(CliOptions::parse(&args(&["--repro-dir"])).is_err());
     }
 
     #[test]

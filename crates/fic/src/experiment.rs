@@ -47,8 +47,30 @@ impl Trial {
 /// (injections may race the assertions, as in the paper), all mechanisms
 /// log detections, and the run is classified for failure at the end.
 pub fn run_trial(protocol: &Protocol, flip: BitFlip, case: TestCase) -> Trial {
+    run_trial_impl(protocol, flip, case, false).0
+}
+
+/// [`run_trial`] with per-tick trace capture, for the differential
+/// oracle (`fic::trace`). The returned [`Trial`] is identical to the
+/// untraced one — recording observes, never influences.
+pub fn run_trial_traced(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+) -> (Trial, arrestor::Trace) {
+    let (trial, trace) = run_trial_impl(protocol, flip, case, true);
+    (trial, trace.expect("tracing was enabled"))
+}
+
+fn run_trial_impl(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    trace: bool,
+) -> (Trial, Option<arrestor::Trace>) {
     let config = RunConfig {
         observation_ms: protocol.observation_ms,
+        trace,
         ..RunConfig::default()
     };
     let mut system = System::new(case, config);
@@ -71,12 +93,13 @@ pub fn run_trial(protocol: &Protocol, flip: BitFlip, case: TestCase) -> Trial {
             per_ea_first_ms[idx] = Some(event.at);
         }
     }
-    Trial {
+    let trial = Trial {
         failed: outcome.verdict.failed(),
         per_ea_first_ms,
         first_injection_ms,
         final_distance_m: outcome.verdict.final_distance_m,
-    }
+    };
+    (trial, outcome.trace)
 }
 
 #[cfg(test)]

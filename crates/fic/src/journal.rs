@@ -241,11 +241,24 @@ impl JournalWriter {
         self.unsynced = 0;
         Ok(())
     }
+
+    /// Consumes the writer, flushing and syncing the final partial
+    /// batch. Prefer this over relying on `Drop` at the end of a
+    /// campaign: `Drop` performs the same flush but must swallow any
+    /// I/O error, whereas `finish` surfaces it.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure while flushing the last batch.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.sync()
+    }
 }
 
 impl Drop for JournalWriter {
     fn drop(&mut self) {
-        // Best-effort final flush; errors here have nowhere to go.
+        // Best-effort final flush; errors here have nowhere to go —
+        // callers that care use `finish` instead.
         let _ = self.sync();
     }
 }
@@ -454,6 +467,27 @@ mod tests {
         );
         drop(writer); // Drop flushes the odd record out.
         assert_eq!(Journal::load(&path).unwrap().records.len(), 5);
+    }
+
+    #[test]
+    fn finish_flushes_the_partial_batch() {
+        let path = temp_path("finish");
+        let protocol = Protocol::scaled(1, 1_000);
+        let mut writer = JournalWriter::create(&path, &protocol)
+            .unwrap()
+            .batch_size(100);
+        for k in 0..3 {
+            writer
+                .append(CampaignKind::E1, k + 1, 0, &sample_trial(None))
+                .unwrap();
+        }
+        // The batch never filled, so nothing past the header is on disk
+        // yet...
+        assert_eq!(Journal::load(&path).unwrap().records.len(), 0);
+        // ...until finish() flushes the partial batch — and, unlike
+        // Drop, reports whether that flush made it to disk.
+        writer.finish().unwrap();
+        assert_eq!(Journal::load(&path).unwrap().records.len(), 3);
     }
 
     #[test]

@@ -57,10 +57,12 @@ pub mod protocol;
 pub mod recovery_study;
 pub mod results;
 pub mod tables;
+pub mod trace;
 
 pub use campaign::CampaignRunner;
 pub use error_set::{E1Error, E2Error};
-pub use experiment::{run_trial, Trial};
+pub use experiment::{run_trial, run_trial_traced, Trial};
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, TrialRecord};
 pub use protocol::Protocol;
 pub use results::{E1Report, E2Report, SignalRow};
+pub use trace::{ReferenceCache, ReproBundle, SignalDivergence, TraceDiff};

@@ -5,7 +5,7 @@ use simenv::TestCaseGrid;
 
 /// The campaign protocol: injection timing, observation window and
 /// test-case envelope.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Protocol {
     /// Time between repeated injections of the same error, ms.
     pub injection_period_ms: u64,

@@ -109,4 +109,86 @@ proptest! {
             prop_assert_eq!(mem.stack().read_u8(a).unwrap(), 0);
         }
     }
+
+    #[test]
+    fn double_injection_is_the_identity(
+        ram_fill: u8,
+        stack_fill: u8,
+        addr in 0usize..memsim::STACK_BYTES,
+        bit in 0u8..8,
+        in_ram: bool,
+    ) {
+        // Injecting the same SWIFI flip twice restores the entire
+        // target memory: the 20 ms repeated-injection protocol can only
+        // toggle state, never accumulate damage.
+        let (region, addr) = if in_ram {
+            (Region::AppRam, addr % memsim::APP_RAM_BYTES)
+        } else {
+            (Region::Stack, addr)
+        };
+        let mut mem = TargetMemory::new(StackLayout::new(memsim::STACK_BYTES));
+        for a in 0..memsim::APP_RAM_BYTES {
+            mem.app_mut().write_u8(a, ram_fill).unwrap();
+        }
+        for a in 0..memsim::STACK_BYTES {
+            mem.stack_mut().write_u8(a, stack_fill).unwrap();
+        }
+        let flip = BitFlip::new(region, addr, bit);
+        mem.inject(flip).unwrap();
+        mem.inject(flip).unwrap();
+        for a in 0..memsim::APP_RAM_BYTES {
+            prop_assert_eq!(mem.app().read_u8(a).unwrap(), ram_fill);
+        }
+        for a in 0..memsim::STACK_BYTES {
+            prop_assert_eq!(mem.stack().read_u8(a).unwrap(), stack_fill);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_injection_rejects_and_leaves_memory_untouched(
+        beyond in 0usize..4096,
+        bit in 0u8..8,
+        in_ram: bool,
+    ) {
+        // Addresses past the paper's 417 B RAM / 1008 B stack must be
+        // rejected without flipping anything.
+        let (region, size) = if in_ram {
+            (Region::AppRam, memsim::APP_RAM_BYTES)
+        } else {
+            (Region::Stack, memsim::STACK_BYTES)
+        };
+        let mut mem = TargetMemory::new(StackLayout::new(memsim::STACK_BYTES));
+        prop_assert!(mem.inject(BitFlip::new(region, size + beyond, bit)).is_err());
+        for a in 0..memsim::APP_RAM_BYTES {
+            prop_assert_eq!(mem.app().read_u8(a).unwrap(), 0);
+        }
+        for a in 0..memsim::STACK_BYTES {
+            prop_assert_eq!(mem.stack().read_u8(a).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn memory_map_round_trips_name_and_address(
+        widths in proptest::collection::vec(1usize..6, 1..30),
+    ) {
+        // name → symbol → addr → symbol_at → name is the identity for
+        // every allocated symbol (the FIC's error-parameter download
+        // depends on this to target signals by name).
+        let mut map = MemoryMap::new(417);
+        let mut names = Vec::new();
+        for (k, width) in widths.iter().enumerate() {
+            let name = format!("sig{k}");
+            if map.alloc_block(&name, *width).is_err() {
+                break;
+            }
+            names.push(name);
+        }
+        for name in &names {
+            let symbol = map.symbol(name).expect("allocated symbol resolves");
+            for offset in 0..symbol.width {
+                let back = map.symbol_at(symbol.addr + offset).expect("covered address");
+                prop_assert_eq!(&back.name, name);
+            }
+        }
+    }
 }

@@ -44,6 +44,6 @@ pub mod testcase;
 
 pub use failure::{Constraints, FailureCause, FailureMonitor, FmaxTable, Verdict};
 pub use geometry::CableGeometry;
-pub use plant::{Plant, PlantState};
+pub use plant::{Plant, PlantState, SensorReadout};
 pub use readout::Readout;
 pub use testcase::{TestCase, TestCaseGrid};

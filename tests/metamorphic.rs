@@ -1,0 +1,137 @@
+//! Metamorphic properties of the campaign machinery: transformations
+//! that must not change the reported results.
+//!
+//! * Permuting the error list and re-chunking the fan-out across 1, 2
+//!   or 8 workers leaves Tables 7–9 byte-identical — the reports are
+//!   commutative accumulators keyed by stable identifiers, not by
+//!   execution order. (Table 6 is excluded by design: it lists the
+//!   error set in input order.)
+//! * Injections that only begin after the arrestment has completed
+//!   never change the failure classification: the aircraft is already
+//!   stopped, so corrupted control state has nothing left to break.
+//!
+//! The permutation sweep alone re-runs the full E1 set (112 errors)
+//! three times plus 60 E2 errors three times — over 500 real injected
+//! trials.
+
+use ea_repro::arrestor::{RunConfig, System};
+use ea_repro::fic::{error_set, tables, CampaignRunner, Protocol};
+use ea_repro::memsim::BitFlip;
+use ea_repro::simenv::TestCase;
+
+fn protocol_with_workers(workers: usize) -> Protocol {
+    let mut protocol = Protocol::scaled(1, 400);
+    protocol.workers = workers;
+    protocol
+}
+
+/// A deterministic non-trivial permutation: reverse, then interleave by
+/// a stride coprime to typical set sizes.
+fn permute<T: Copy>(items: &[T], stride: usize) -> Vec<T> {
+    let mut out = Vec::with_capacity(items.len());
+    for start in 0..stride {
+        out.extend(items.iter().rev().skip(start).step_by(stride));
+    }
+    assert_eq!(out.len(), items.len());
+    out
+}
+
+#[test]
+fn e1_tables_survive_permutation_and_rechunking() {
+    let errors = error_set::e1();
+    let baseline = CampaignRunner::new(protocol_with_workers(1)).run_e1(&errors);
+
+    let permuted = permute(&errors, 7);
+    let two_workers = CampaignRunner::new(protocol_with_workers(2)).run_e1(&permuted);
+
+    let reversed: Vec<_> = errors.iter().rev().copied().collect();
+    let eight_workers = CampaignRunner::new(protocol_with_workers(8)).run_e1(&reversed);
+
+    assert_eq!(baseline, two_workers, "permutation + 2 workers changed E1");
+    assert_eq!(baseline, eight_workers, "reversal + 8 workers changed E1");
+    assert_eq!(
+        tables::render_table7(&baseline),
+        tables::render_table7(&two_workers)
+    );
+    assert_eq!(
+        tables::render_table8(&baseline),
+        tables::render_table8(&eight_workers)
+    );
+}
+
+#[test]
+fn e2_table_survives_permutation_and_rechunking() {
+    // Every third E2 error keeps the sweep over 60 errors per run.
+    let errors: Vec<_> = error_set::e2().into_iter().step_by(3).collect();
+    let baseline = CampaignRunner::new(protocol_with_workers(1)).run_e2(&errors);
+    let permuted = permute(&errors, 5);
+    let two_workers = CampaignRunner::new(protocol_with_workers(2)).run_e2(&permuted);
+    let reversed: Vec<_> = errors.iter().rev().copied().collect();
+    let eight_workers = CampaignRunner::new(protocol_with_workers(8)).run_e2(&reversed);
+
+    assert_eq!(baseline, two_workers);
+    assert_eq!(baseline, eight_workers);
+    assert_eq!(
+        tables::render_table9(&baseline),
+        tables::render_table9(&two_workers)
+    );
+    assert_eq!(
+        tables::render_table9(&baseline),
+        tables::render_table9(&eight_workers)
+    );
+}
+
+/// Runs one case fault-free until the aircraft stops, then keeps
+/// injecting `flip` every 20 ms for two more seconds. Returns whether
+/// the arrestment was classified as failed.
+fn failed_with_post_arrest_injections(case: TestCase, flip: Option<BitFlip>) -> bool {
+    let config = RunConfig {
+        observation_ms: 60_000,
+        ..RunConfig::default()
+    };
+    let mut system = System::new(case, config);
+    while !system.plant_state().arrested {
+        assert!(system.time_ms() < 40_000, "case never arrested");
+        system.tick();
+    }
+    let arrested_at = system.time_ms();
+    while system.time_ms() < arrested_at + 2_000 {
+        if let Some(flip) = flip {
+            if system.time_ms().is_multiple_of(20) {
+                system.inject(flip);
+            }
+        }
+        system.tick();
+    }
+    system.finish().verdict.failed()
+}
+
+#[test]
+fn post_arrest_injections_never_change_the_classification() {
+    let case = TestCase::new(12_000.0, 55.0);
+    let baseline = failed_with_post_arrest_injections(case, None);
+    assert!(!baseline, "fault-free arrestment must not fail");
+    // Every monitored signal's MSB error plus a spread of stack flips:
+    // the most damaging members of both error sets.
+    let e1 = error_set::e1();
+    let mut flips: Vec<BitFlip> = e1
+        .iter()
+        .filter(|e| e.signal_bit == 15)
+        .map(|e| e.flip)
+        .collect();
+    flips.extend(
+        error_set::e2()
+            .iter()
+            .filter(|e| e.flip.region == ea_repro::memsim::Region::Stack)
+            .step_by(10)
+            .map(|e| e.flip),
+    );
+    assert!(flips.len() >= 10);
+    for flip in flips {
+        assert_eq!(
+            failed_with_post_arrest_injections(case, Some(flip)),
+            baseline,
+            "post-arrest injection of {flip:?} changed the classification"
+        );
+    }
+}

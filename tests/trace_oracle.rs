@@ -1,0 +1,131 @@
+//! The differential trace oracle, exercised end to end against the real
+//! system: determinism of fault-free traces, divergence as a lower
+//! bound on detection latency, and propagation paths through the signal
+//! graph.
+
+use ea_repro::arrestor::EaSet;
+use ea_repro::fic::trace::{self, ReferenceCache};
+use ea_repro::fic::{error_set, run_trial, run_trial_traced, Protocol};
+use ea_repro::memsim::BitFlip;
+
+/// An E1 error's flip by paper number (`S<k>`).
+fn s(k: usize) -> BitFlip {
+    error_set::e1()[k - 1].flip
+}
+
+#[test]
+fn fault_free_paper_grid_is_divergence_free() {
+    // Every case of the paper's 5 × 5 envelope, recorded twice
+    // independently: the oracle's ground assumption is that the
+    // fault-free system is bit-deterministic.
+    let protocol = Protocol {
+        observation_ms: 1_200,
+        ..Protocol::paper()
+    };
+    for (idx, case) in protocol.grid.cases().into_iter().enumerate() {
+        let a = trace::record_reference(&protocol, case);
+        let b = trace::record_reference(&protocol, case);
+        assert_eq!(a.len(), 1_200);
+        let diff = trace::diff(&a, &b);
+        assert!(
+            !diff.diverged(),
+            "case {idx} nondeterministic: {:?}",
+            diff.first
+        );
+    }
+}
+
+#[test]
+fn first_divergence_bounds_detection_latency() {
+    // An assertion fires on corrupted state, so for any detected error
+    // the first recorded divergence can be no later than the first
+    // detection — an independent cross-check of the Table 8/9 latency
+    // pipeline.
+    let protocol = Protocol::scaled(1, 4_000);
+    let case = protocol.grid.cases()[0];
+    let reference = trace::record_reference(&protocol, case);
+    // MSB errors of SetValue (S16), IsValue (S32), mscnt (S96) and
+    // OutValue (S112): all reliably detected.
+    for k in [16, 32, 96, 112] {
+        let (trial, observed) = run_trial_traced(&protocol, s(k), case);
+        let diff = trace::diff(&reference, &observed);
+        let detection = trial
+            .first_detection(EaSet::ALL)
+            .unwrap_or_else(|| panic!("S{k} must be detected"));
+        let divergence = diff
+            .first_divergence_ms()
+            .unwrap_or_else(|| panic!("S{k} must diverge"));
+        assert!(
+            divergence <= detection,
+            "S{k}: divergence at {divergence} ms after detection at {detection} ms"
+        );
+        assert!(
+            divergence >= trial.first_injection_ms,
+            "S{k}: divergence at {divergence} ms before first injection"
+        );
+    }
+}
+
+#[test]
+fn set_value_error_propagates_to_the_valve_command() {
+    // A SetValue MSB error feeds the regulator: the path must start at
+    // SetValue and reach OutValue and the physical master pressure —
+    // the mechanism behind the paper's Pprop.
+    let protocol = Protocol::scaled(1, 4_000);
+    let case = protocol.grid.cases()[0];
+    let reference = trace::record_reference(&protocol, case);
+    let (_, observed) = run_trial_traced(&protocol, s(16), case);
+    let diff = trace::diff(&reference, &observed);
+    let first = diff.first.clone().expect("SetValue MSB must diverge");
+    assert_eq!(first.signal, "SetValue");
+    assert!(diff.reaches("OutValue"), "path: {:?}", diff.path);
+    assert!(
+        diff.reaches("pressure_master_bar"),
+        "corrupted set point must reach the plant; path: {:?}",
+        diff.path
+    );
+    // The path is time-ordered.
+    for pair in diff.path.windows(2) {
+        assert!(pair[0].t_ms <= pair[1].t_ms);
+    }
+}
+
+#[test]
+fn inert_stack_error_never_diverges() {
+    // A flip in dead stack space changes nothing the system ever reads:
+    // the oracle must report a completely clean diff.
+    let protocol = Protocol::scaled(1, 2_000);
+    let case = protocol.grid.cases()[0];
+    let reference = trace::record_reference(&protocol, case);
+    let flip = BitFlip::new(ea_repro::memsim::Region::Stack, 10, 3);
+    let (trial, observed) = run_trial_traced(&protocol, flip, case);
+    assert!(!trial.detected(EaSet::ALL));
+    let diff = trace::diff(&reference, &observed);
+    assert!(!diff.diverged(), "inert error diverged: {:?}", diff.first);
+}
+
+#[test]
+fn tracing_is_behaviour_neutral() {
+    // Recording must observe, never influence: the traced trial returns
+    // the exact same outcome as the untraced one.
+    let protocol = Protocol::scaled(1, 3_000);
+    let case = protocol.grid.cases()[0];
+    for k in [1, 16, 96] {
+        let plain = run_trial(&protocol, s(k), case);
+        let (traced, trace) = run_trial_traced(&protocol, s(k), case);
+        assert_eq!(plain, traced, "S{k}: tracing changed the trial outcome");
+        assert_eq!(trace.len(), 3_000);
+    }
+}
+
+#[test]
+fn reference_cache_shares_one_trace_per_case() {
+    let cache = ReferenceCache::new(Protocol::scaled(2, 500));
+    let cases = cache.protocol().grid.cases();
+    let first = cache.get(cases[0]);
+    let again = cache.get(cases[0]);
+    assert!(std::sync::Arc::ptr_eq(&first, &again));
+    let other = cache.get(cases[3]);
+    assert!(!std::sync::Arc::ptr_eq(&first, &other));
+    assert_eq!(cache.len(), 2);
+}
