@@ -1,0 +1,599 @@
+//! Checkpointed execution: freezing a [`System`] mid-run and detecting
+//! steady-state recurrence so a trial can finish early.
+//!
+//! Two cooperating pieces live here:
+//!
+//! * [`Snapshot`] — a frozen copy of the *complete* simulation state
+//!   (master node with RAM + stack + kernel + detectors, slave node,
+//!   plant, failure monitor, readout, trace). Campaigns snapshot the
+//!   fault-free prefix of a test case once and fork every bit-flip
+//!   trial of that case from the snapshot instead of replaying it from
+//!   t = 0. Forking is a plain deep copy, so a resumed system is
+//!   bit-identical to one that simulated the prefix itself.
+//!
+//! * [`SettleDetector`] — a steady-state recurrence detector. Once the
+//!   aircraft is arrested, the closed-loop system converges to a
+//!   periodically forced fixpoint: the plant is frozen, the controller
+//!   idles, and the only remaining stimulus is the strictly periodic
+//!   re-injection of the same bit flip. When the detector proves that
+//!   the state at time `t` recurs from time `t − d` (for an aligned
+//!   distance `d`), every future tick replays the interval
+//!   `(t − d, t]` forever, so nothing observable — verdict, detection
+//!   log firsts, final distance — can change any more and the trial
+//!   may stop at `t` with the exact outputs of a full-window run.
+//!
+//! # Soundness of the recurrence argument
+//!
+//! The simulated system is deterministic, and a tick is a function of
+//! the state alone — with three exceptions that carry *absolute time*
+//! and therefore can never literally recur inside one observation
+//! window: the master's `mscnt` clock, EA6's previous sample (a copy
+//! of `mscnt`), and CALC's `prev_mscnt` stack local (another copy).
+//! The detector therefore compares:
+//!
+//! 1. **Invariant projection** — every byte of state *except* those
+//!    three cells, bit-exact: application RAM, stack, slave RAM (minus
+//!    the slave's write-only clock), plant state and failure-monitor
+//!    accumulators (as `f64` bit patterns), kernel control-flow state,
+//!    node latches, the inter-node mailbox, and each signal monitor's
+//!    mode and previous sample.
+//! 2. **The translation trio** — `mscnt`, EA6's previous and
+//!    `prev_mscnt` may differ by a joint offset δ (mod 2¹⁶), because
+//!    the only reader of absolute clock values is EA6's increment test
+//!    `(s − s′) mod 2¹⁶ = 1`, and CALC's `dt = mscnt − prev_mscnt`;
+//!    both are invariant under a joint translation.
+//!
+//! Four matching rules keep the translation sound in every corner:
+//!
+//! * When the injected flip targets the `mscnt` cell itself, the XOR
+//!   does not commute with translation in general — but writing
+//!   `v = H·2^(b+1) + D` (bit `b` is the flipped bit), `D` evolves
+//!   deterministically (increments carry into `H` exactly when
+//!   `D = 2^(b+1) − 1`; the XOR never carries), so two states whose
+//!   clocks differ by `δ ≡ 0 (mod 2^(b+1))` stay exactly δ apart
+//!   forever. Offsets not divisible by `2^(b+1)` are rejected.
+//! * `prev_mscnt` must either carry the *same* offset δ (it is a
+//!   sample of the clock), or be raw-equal while provably unread: the
+//!   only reader is the ARRESTING-mode velocity-estimation pass, so a
+//!   raw-stale sample is accepted only if the system mode is not
+//!   ARRESTING at the capture, the flip cannot corrupt `sys_mode`
+//!   (mode transitions are monotone ARMED → ARRESTING → STOPPED, so
+//!   equal endpoint modes exclude a mid-period ARRESTING excursion),
+//!   or the background process is halted/hung entirely.
+//! * A δ-offset `prev_mscnt` is rejected when the flip targets the
+//!   `prev_mscnt` bytes (the XOR would break the offset).
+//! * **Retired clock**: for a clock-targeting flip, the divisibility
+//!   requirement makes high-bit recurrences unreachable inside one
+//!   window (δ would have to exceed it). But once `sys_mode` is
+//!   STOPPED, CALC's velocity/stall pass — the only clock reader
+//!   besides EA6 — can never run again, and STOPPED is absorbing
+//!   (only the ARMED/ARRESTING arms write the mode variable, and this
+//!   flip cannot). If EA6's first detection is also already in the
+//!   log, every future EA6 check outcome is output-irrelevant — the
+//!   log only feeds per-mechanism *firsts* — so the whole trio is
+//!   ignored and any offset matches.
+//!
+//! Excluded from the projection on purpose, with why each is safe:
+//! the detection-event log (append-only and read only by
+//! [`System::finish`]; by recurrence, any mechanism that would fire
+//! for the first time after `t` already fired inside `(t − d, t]`),
+//! the monitors' check/violation counters (statistics, never read
+//! back), the slave's `mscnt` (incremented, never read), and the
+//! plant's `time_ms` (bookkeeping, never fed back).
+//!
+//! The detector disables itself — falling back to full-window
+//! execution — whenever a run records state that an early stop would
+//! truncate (tracing or readout capture enabled) or mutates state
+//! non-translation-covariantly (recovery write-back).
+//!
+//! Captures only start once the failure monitor has seen an arrested
+//! plant: while the aircraft still rolls, `distance_m` strictly
+//! increases every tick, so no earlier state can recur and
+//! fingerprinting would be wasted work.
+
+use std::collections::VecDeque;
+
+use ea_core::{Millis, Sample};
+use memsim::{BitFlip, Region};
+
+use crate::consts::{mode, slot};
+use crate::kernel::KernelState;
+use crate::system::System;
+
+/// A frozen, resumable copy of a [`System`] mid-run.
+///
+/// Created by [`System::checkpoint`]. [`Snapshot::resume`] hands back
+/// an independent system that continues from the captured instant;
+/// because the simulation is deterministic, a resumed run is
+/// bit-identical to one that executed the prefix itself.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    system: System,
+}
+
+impl Snapshot {
+    pub(crate) fn of(system: &System) -> Self {
+        Snapshot {
+            system: system.clone(),
+        }
+    }
+
+    /// A fresh system continuing from the frozen instant.
+    pub fn resume(&self) -> System {
+        self.system.clone()
+    }
+
+    /// The simulation time at which the snapshot was taken, ms.
+    pub fn time_ms(&self) -> Millis {
+        self.system.time_ms()
+    }
+
+    /// The test case the frozen system was engaged with.
+    pub fn case(&self) -> simenv::TestCase {
+        self.system.case()
+    }
+}
+
+/// How many aligned captures the detector keeps for comparison.
+///
+/// A deep ring catches recurrences whose period is a multiple of the
+/// capture stride: scheduler-slot drift realigns within 7 strides, and
+/// the velocity-estimation cadence (every ≥ 100 ms of ARRESTING time)
+/// beats against the injection period with an lcm of a few strides.
+const RING: usize = 64;
+
+/// Unmatched captures at one stride before the stride doubles.
+///
+/// Decoupled from [`RING`]: backoff wants to trigger quickly (a state
+/// that has missed this many aligned captures is converging slowly, so
+/// cheapen the sampling), while the ring wants to stay deep (old
+/// captures are what long-period recurrences match against).
+const BACKOFF_MISSES: u32 = 32;
+
+/// Steady-state recurrence detector for one run.
+///
+/// Construct once per trial, then call [`SettleDetector::check`] at
+/// the top of every tick loop iteration (before injecting). A `true`
+/// return is a proof that the run's observable outputs are final:
+/// the caller may stop ticking and call [`System::finish`] directly.
+#[derive(Debug)]
+pub struct SettleDetector {
+    /// Next instant at which there is anything to do; `u64::MAX` when
+    /// the detector is disabled for this run. The tick-loop hot path
+    /// is a single compare against this.
+    next_check_ms: u64,
+    /// Base alignment: lcm(slot cycle, injection period), ms.
+    period_ms: u64,
+    /// Current capture stride (a multiple of `period_ms`).
+    stride_ms: u64,
+    /// Unmatched captures at the current stride (backoff trigger).
+    misses_at_stride: u32,
+    ring: VecDeque<Fingerprint>,
+    mscnt_addr: usize,
+    prev_mscnt_addr: usize,
+    ea6_name: &'static str,
+    flip_hits_mscnt: bool,
+    /// `2^(b+1)` for the flipped clock bit `b`; 1 when no clock flip.
+    mscnt_modulus: u32,
+    flip_hits_prev_mscnt: bool,
+    flip_hits_sys_mode: bool,
+}
+
+/// One aligned state capture: an invariant byte projection (prefixed
+/// by an FNV-1a hash for cheap rejection) plus the translation trio
+/// and the guard data the matching rules need.
+#[derive(Debug)]
+struct Fingerprint {
+    hash: u64,
+    bytes: Vec<u8>,
+    kernel: KernelState,
+    mscnt: u16,
+    ea6_previous: Option<Sample>,
+    prev_mscnt: u16,
+    sys_mode: u16,
+    /// Whether EA6's first detection was already logged at capture time
+    /// (monotone: the log is append-only).
+    ea6_decided: bool,
+}
+
+impl SettleDetector {
+    /// A detector for a run of `system`, injected with `flip` (None
+    /// for a fault-free run) every `injection_period_ms`.
+    ///
+    /// The detector starts disabled when the run records per-tick or
+    /// periodic state (trace, readout) or repairs signals in place
+    /// (recovery write-back): early exit would change those outputs.
+    pub fn new(system: &System, flip: Option<BitFlip>, injection_period_ms: u64) -> Self {
+        let config = system.config();
+        let disabled = config.trace || config.record_every_ms != 0 || config.recovery.is_some();
+        let sig = system.master().signals();
+        let locals = system.master().calc_locals();
+        let mscnt_addr = sig.mscnt.addr();
+        let prev_mscnt_addr = locals.prev_mscnt.addr();
+        let sys_mode_addr = sig.sys_mode.addr();
+        let in_cell = |region: Region, addr: usize, f: &BitFlip| {
+            f.region == region && (f.addr == addr || f.addr == addr + 1)
+        };
+        let flip_hits_mscnt = flip
+            .as_ref()
+            .is_some_and(|f| in_cell(Region::AppRam, mscnt_addr, f));
+        let mscnt_modulus = match &flip {
+            Some(f) if flip_hits_mscnt => {
+                let bit = (f.addr - mscnt_addr) * 8 + usize::from(f.bit);
+                1u32 << (bit + 1)
+            }
+            _ => 1,
+        };
+        let period_ms = lcm(u64::from(slot::COUNT), injection_period_ms.max(1));
+        SettleDetector {
+            next_check_ms: if disabled { u64::MAX } else { 0 },
+            period_ms,
+            stride_ms: period_ms,
+            misses_at_stride: 0,
+            ring: VecDeque::with_capacity(RING),
+            mscnt_addr,
+            prev_mscnt_addr,
+            ea6_name: crate::detectors::EaId::Ea6.signal_name(),
+            flip_hits_mscnt,
+            mscnt_modulus,
+            flip_hits_prev_mscnt: flip
+                .as_ref()
+                .is_some_and(|f| in_cell(Region::Stack, prev_mscnt_addr, f)),
+            flip_hits_sys_mode: flip
+                .as_ref()
+                .is_some_and(|f| in_cell(Region::AppRam, sys_mode_addr, f)),
+        }
+    }
+
+    /// Observes the system at the top of a tick-loop iteration (before
+    /// any injection). Returns `true` once the run's observable
+    /// outputs are provably final.
+    pub fn check(&mut self, system: &System) -> bool {
+        let t = system.time_ms();
+        // Fast path: between scheduled capture points (and for the
+        // whole run when disabled) there is nothing to observe. One
+        // branch per tick keeps the detector invisible on the hot
+        // loop; everything below runs at most once per stride.
+        if t < self.next_check_ms {
+            return false;
+        }
+        // A hung node over an arrested plant is doubly frozen: no
+        // module (or assertion) will ever run again and the failure
+        // accumulators cannot move. Checking only at stride points
+        // delays the exit by under one stride of a frozen system,
+        // which cannot change any output.
+        if system.master().hung() && system.failmon().arrested() {
+            return true;
+        }
+        if t == 0 || !t.is_multiple_of(self.stride_ms) {
+            self.next_check_ms = (t / self.stride_ms + 1) * self.stride_ms;
+            return false;
+        }
+        self.next_check_ms = t + self.stride_ms;
+        // While the aircraft rolls, distance strictly increases: no
+        // recurrence is possible and capturing would be wasted work.
+        if !system.failmon().arrested() {
+            return false;
+        }
+        let current = self.capture(system);
+        if self.ring.iter().any(|old| self.matches(&current, old)) {
+            return true;
+        }
+        if self.ring.len() == RING {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(current);
+        // Slow convergers (e.g. exact-f64 pressure decay) can take
+        // seconds: back off geometrically so fingerprinting never
+        // dominates a trial that refuses to settle. Every stride stays
+        // a multiple of the alignment period, so matches across stride
+        // changes remain sound.
+        self.misses_at_stride += 1;
+        if self.misses_at_stride >= BACKOFF_MISSES && self.stride_ms < self.period_ms * 8 {
+            self.stride_ms *= 2;
+            self.misses_at_stride = 0;
+        }
+        false
+    }
+
+    fn capture(&self, system: &System) -> Fingerprint {
+        let mut bytes = Vec::with_capacity(1_600);
+        let master = system.master();
+        let mem = master.memory();
+        push_masked(&mut bytes, mem.app().as_bytes(), self.mscnt_addr);
+        push_masked(&mut bytes, mem.stack().as_bytes(), self.prev_mscnt_addr);
+        let slave = system.slave();
+        push_masked(
+            &mut bytes,
+            slave.ram().as_bytes(),
+            slave.signals().mscnt.addr(),
+        );
+
+        let plant = system.plant_state();
+        for v in [
+            plant.distance_m,
+            plant.velocity_ms,
+            plant.retardation_ms2,
+            plant.cable_force_n,
+            plant.pressure_master_bar,
+            plant.pressure_slave_bar,
+        ] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        bytes.push(u8::from(plant.arrested));
+
+        let failmon = system.failmon();
+        for v in [
+            failmon.peak_retardation_ms2(),
+            failmon.peak_force_n(),
+            failmon.max_distance_m(),
+        ] {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        bytes.push(u8::from(failmon.arrested()));
+
+        let (master_valve, slave_valve) = system.valve_commands_pu();
+        for v in [
+            master_valve,
+            slave_valve,
+            master.valve_latch(),
+            master.last_pulse_total(),
+            slave.valve_latch(),
+        ] {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        push_option_u16(&mut bytes, master.comm_out());
+
+        let mut ea6_previous = None;
+        for (_, monitor) in master.detectors().bank().iter() {
+            bytes.extend_from_slice(&monitor.mode().to_le_bytes());
+            if monitor.name() == self.ea6_name {
+                ea6_previous = monitor.previous();
+            } else {
+                push_option_sample(&mut bytes, monitor.previous());
+            }
+        }
+
+        let ram = mem.app();
+        let stack = mem.stack();
+        let sig = master.signals();
+        let ea6_index = crate::detectors::EaId::Ea6.index();
+        Fingerprint {
+            hash: fnv1a(&bytes),
+            bytes,
+            kernel: master.kernel().clone(),
+            mscnt: sig.mscnt.read(ram),
+            ea6_previous,
+            prev_mscnt: master.calc_locals().prev_mscnt.read(stack),
+            sys_mode: sig.sys_mode.read(ram),
+            ea6_decided: master
+                .detectors()
+                .events()
+                .iter()
+                .any(|e| e.monitor.0 == ea6_index),
+        }
+    }
+
+    fn matches(&self, current: &Fingerprint, old: &Fingerprint) -> bool {
+        if current.hash != old.hash || current.kernel != old.kernel || current.bytes != old.bytes {
+            return false;
+        }
+        // Retired-clock rule: once `sys_mode` is STOPPED, CALC's
+        // velocity/stall pass — the only reader of the clock besides
+        // EA6 — is unreachable, and STOPPED is absorbing (only the
+        // ARMED/ARRESTING arms write `sys_mode`, and a clock-targeting
+        // flip cannot). With EA6's first detection already logged, no
+        // observable output depends on the clock trio any more, so the
+        // translation conditions below are vacuous and any offset —
+        // even one the XOR rule would reject — is acceptable.
+        if self.flip_hits_mscnt
+            && current.sys_mode == mode::STOPPED
+            && old.sys_mode == mode::STOPPED
+            && old.ea6_decided
+        {
+            return true;
+        }
+        // The clock and EA6's previous sample must agree on one joint
+        // offset δ (mod 2^16).
+        let delta = current.mscnt.wrapping_sub(old.mscnt);
+        let ea6_shifted = match (current.ea6_previous, old.ea6_previous) {
+            (None, None) => delta == 0,
+            (Some(c), Some(o)) => {
+                (c >> 16) == (o >> 16) && (c as u16).wrapping_sub(o as u16) == delta
+            }
+            _ => false,
+        };
+        if !ea6_shifted {
+            return false;
+        }
+        if delta != 0 && self.flip_hits_mscnt && u32::from(delta) % self.mscnt_modulus != 0 {
+            return false;
+        }
+        let prev_delta = current.prev_mscnt.wrapping_sub(old.prev_mscnt);
+        if prev_delta == delta {
+            // Raw-equal (δ = 0) or co-translated with the clock; a
+            // translated cell must not be XOR-ed by the flip itself.
+            delta == 0 || !self.flip_hits_prev_mscnt
+        } else if prev_delta == 0 {
+            // Stale raw-equal sample under a shifted clock: accept
+            // only if no ARRESTING velocity-estimation pass can read
+            // it during the recurrence period.
+            !self.flip_hits_sys_mode
+                && (current.sys_mode != mode::ARRESTING
+                    || current.kernel.hung()
+                    || current.kernel.calc_halted())
+        } else {
+            false
+        }
+    }
+}
+
+/// Appends `source` with the u16 cell at `masked_addr` zeroed out.
+fn push_masked(bytes: &mut Vec<u8>, source: &[u8], masked_addr: usize) {
+    let before = bytes.len();
+    bytes.extend_from_slice(source);
+    for offset in 0..2 {
+        if let Some(b) = bytes.get_mut(before + masked_addr + offset) {
+            *b = 0;
+        }
+    }
+}
+
+fn push_option_u16(bytes: &mut Vec<u8>, value: Option<u16>) {
+    match value {
+        Some(v) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        None => bytes.extend_from_slice(&[0, 0, 0]),
+    }
+}
+
+fn push_option_sample(bytes: &mut Vec<u8>, value: Option<Sample>) {
+    match value {
+        Some(v) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        None => {
+            bytes.push(0);
+            bytes.extend_from_slice(&[0; 8]);
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+const fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+const fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::RunConfig;
+    use simenv::TestCase;
+
+    fn system() -> System {
+        System::new(TestCase::new(12_000.0, 55.0), RunConfig::default())
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_to_straight_run() {
+        let mut reference = system();
+        let mut forked = system();
+        for _ in 0..500 {
+            reference.tick();
+            forked.tick();
+        }
+        let snapshot = forked.checkpoint();
+        assert_eq!(snapshot.time_ms(), 500);
+        let mut resumed = snapshot.resume();
+        for _ in 0..2_000 {
+            reference.tick();
+            resumed.tick();
+        }
+        let a = reference.finish();
+        let b = resumed.finish();
+        assert_eq!(
+            a.verdict.final_distance_m.to_bits(),
+            b.verdict.final_distance_m.to_bits()
+        );
+        assert_eq!(a.detections, b.detections);
+        assert_eq!(a.duration_ms, b.duration_ms);
+    }
+
+    #[test]
+    fn snapshot_can_fork_many_independent_runs() {
+        let mut base = system();
+        for _ in 0..100 {
+            base.tick();
+        }
+        let snapshot = base.checkpoint();
+        let mut a = snapshot.resume();
+        let mut b = snapshot.resume();
+        a.inject(BitFlip::new(
+            Region::AppRam,
+            a.master().signals().set_value.addr() + 1,
+            7,
+        ));
+        for _ in 0..200 {
+            a.tick();
+            b.tick();
+        }
+        // The injected fork diverges; the clean fork matches the base.
+        assert_ne!(
+            a.master()
+                .signals()
+                .set_value
+                .read(a.master().memory().app()),
+            b.master()
+                .signals()
+                .set_value
+                .read(b.master().memory().app())
+        );
+        assert_eq!(snapshot.case(), base.case());
+    }
+
+    #[test]
+    fn fault_free_run_settles_after_arrest_with_final_outputs() {
+        let mut system = system();
+        let mut detector = SettleDetector::new(&system, None, 20);
+        let mut settled_at = None;
+        while system.time_ms() < 40_000 {
+            if settled_at.is_none() && detector.check(&system) {
+                settled_at = Some(system.time_ms());
+                break;
+            }
+            system.tick();
+        }
+        let t = settled_at.expect("a nominal arrestment settles well inside the window");
+        assert!(system.plant_state().arrested);
+        // Early outputs equal the full-window outputs.
+        let early = system.clone().finish();
+        let full = system.run_to_completion();
+        assert_eq!(
+            early.verdict.final_distance_m.to_bits(),
+            full.verdict.final_distance_m.to_bits()
+        );
+        assert_eq!(early.detections, full.detections);
+        assert!(t < 20_000, "settled too late: {t}");
+    }
+
+    #[test]
+    fn detector_disables_itself_for_recorded_runs() {
+        let config = RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        };
+        let mut system = System::new(TestCase::new(12_000.0, 55.0), config);
+        let mut detector = SettleDetector::new(&system, None, 20);
+        for _ in 0..30_000 {
+            assert!(!detector.check(&system));
+            system.tick();
+        }
+    }
+
+    #[test]
+    fn alignment_period_covers_slots_and_injections() {
+        assert_eq!(lcm(7, 20), 140);
+        assert_eq!(lcm(7, 7), 7);
+        assert_eq!(gcd(12, 18), 6);
+    }
+}

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod consts;
 pub mod control;
 pub mod detectors;
@@ -55,6 +56,7 @@ pub mod stackmodel;
 pub mod system;
 pub mod trace;
 
+pub use checkpoint::{SettleDetector, Snapshot};
 pub use detectors::{Detectors, EaId, EaSet};
 pub use instrument::{build_detectors, placement_plan};
 pub use kernel::{ControlFlowFault, KernelState};

@@ -210,6 +210,26 @@ impl MasterNode {
     pub fn calc_halted(&self) -> bool {
         self.kernel.calc_halted()
     }
+
+    pub(crate) const fn kernel(&self) -> &KernelState {
+        &self.kernel
+    }
+
+    pub(crate) const fn calc_locals(&self) -> &CalcLocals {
+        &self.locals
+    }
+
+    pub(crate) const fn valve_latch(&self) -> u16 {
+        self.valve_latch
+    }
+
+    pub(crate) const fn last_pulse_total(&self) -> u16 {
+        self.last_pulse_total
+    }
+
+    pub(crate) const fn comm_out(&self) -> Option<u16> {
+        self.comm_out
+    }
 }
 
 /// The slave node: CLOCK, PRES_S, V_REG, PRES_A over its own small RAM;
@@ -272,6 +292,18 @@ impl SlaveNode {
     /// The current set point held by the slave.
     pub fn set_value(&self) -> u16 {
         self.sig.set_value.read(&self.ram)
+    }
+
+    pub(crate) const fn ram(&self) -> &Ram {
+        &self.ram
+    }
+
+    pub(crate) const fn signals(&self) -> &SlaveSignals {
+        &self.sig
+    }
+
+    pub(crate) const fn valve_latch(&self) -> u16 {
+        self.valve_latch
     }
 }
 

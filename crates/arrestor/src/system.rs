@@ -126,6 +126,34 @@ impl System {
         &self.master
     }
 
+    /// The test case this system was engaged with.
+    pub const fn case(&self) -> TestCase {
+        self.case
+    }
+
+    /// The run configuration.
+    pub const fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Freezes the complete simulation state into a resumable
+    /// [`crate::checkpoint::Snapshot`].
+    pub fn checkpoint(&self) -> crate::checkpoint::Snapshot {
+        crate::checkpoint::Snapshot::of(self)
+    }
+
+    pub(crate) const fn failmon(&self) -> &FailureMonitor {
+        &self.failmon
+    }
+
+    pub(crate) const fn slave(&self) -> &SlaveNode {
+        &self.slave
+    }
+
+    pub(crate) const fn valve_commands_pu(&self) -> (u16, u16) {
+        (self.master_valve_pu, self.slave_valve_pu)
+    }
+
     /// Injects one SWIFI bit flip into the master's memory.
     pub fn inject(&mut self, flip: BitFlip) {
         self.master.inject(flip);

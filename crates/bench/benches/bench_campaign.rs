@@ -1,0 +1,219 @@
+//! Campaign-throughput benchmark: checkpointed trial execution
+//! (fault-free-prefix forking + steady-state fast-forward) against the
+//! straight-line replay baseline.
+//!
+//! Three modes:
+//!
+//! * `cargo bench -p bench --bench bench_campaign` — Criterion
+//!   comparison on a reduced protocol (statistical, slow-ish);
+//! * `cargo bench -p bench --bench bench_campaign -- --json [path]` —
+//!   one timed full-E1-grid campaign (112 errors × 25 cases, 40 s
+//!   windows) per ⟨mode, worker count⟩, written as machine-readable
+//!   JSON to `path` (default: `BENCH_campaign.json` at the repo root).
+//!   This regenerates the committed perf-trajectory artefact quoted in
+//!   `PERFORMANCE.md`;
+//! * `-- --smoke [path]` — same JSON shape on a reduced grid, for CI.
+//!
+//! Every timed campaign's report is cross-checked against the replay
+//! report, so the benchmark doubles as an equivalence test: a speedup
+//! obtained by changing results would abort the run.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, Criterion};
+
+use fic::{error_set, CampaignRunner, E1Report, Protocol};
+
+/// Worker counts exercised by the JSON modes: 1, 4 and the host's core
+/// count, capped at the core count (running more CPU-bound workers
+/// than cores measures scheduler thrash, not the campaign), duplicates
+/// removed.
+fn worker_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut counts: Vec<usize> = [1, 4, all].into_iter().filter(|&w| w <= all).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+struct TimedRun {
+    mode: &'static str,
+    workers: usize,
+    wall_s: f64,
+    trials_per_s: f64,
+    report: E1Report,
+}
+
+fn timed_e1(protocol: &Protocol, errors: &[fic::E1Error], checkpointed: bool) -> TimedRun {
+    let runner = CampaignRunner::new(protocol.clone()).with_checkpointing(checkpointed);
+    let trials = errors.len() * protocol.cases_per_error();
+    let start = Instant::now();
+    let report = runner.run_e1(errors);
+    let wall_s = start.elapsed().as_secs_f64();
+    TimedRun {
+        mode: if checkpointed {
+            "checkpointed"
+        } else {
+            "replay"
+        },
+        workers: protocol.effective_workers().max(1),
+        wall_s,
+        trials_per_s: trials as f64 / wall_s,
+        report,
+    }
+}
+
+/// Runs the grid sweep for one protocol and returns (runs, speedups).
+/// Speedup is trials/sec checkpointed ÷ trials/sec replay at the same
+/// worker count.
+fn sweep(mut protocol: Protocol, errors: &[fic::E1Error]) -> (Vec<TimedRun>, Vec<(usize, f64)>) {
+    let mut runs = Vec::new();
+    let mut speedups = Vec::new();
+    for workers in worker_counts() {
+        protocol.workers = workers;
+        eprintln!("  workers={workers}: replay...");
+        let replay = timed_e1(&protocol, errors, false);
+        eprintln!(
+            "    {:.2} s ({:.0} trials/s); checkpointed...",
+            replay.wall_s, replay.trials_per_s
+        );
+        let fast = timed_e1(&protocol, errors, true);
+        eprintln!(
+            "    {:.2} s ({:.0} trials/s); speedup {:.2}x",
+            fast.wall_s,
+            fast.trials_per_s,
+            fast.trials_per_s / replay.trials_per_s
+        );
+        assert_eq!(
+            fast.report, replay.report,
+            "checkpointed E1 report diverged from replay at {workers} workers"
+        );
+        speedups.push((workers, fast.trials_per_s / replay.trials_per_s));
+        runs.push(replay);
+        runs.push(fast);
+    }
+    (runs, speedups)
+}
+
+fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_grid: bool) {
+    use serde_json::Value;
+
+    let trials = errors * protocol.cases_per_error();
+    eprintln!(
+        "timing E1 grid: {errors} errors x {} cases ({trials} trials, {} ms windows)",
+        protocol.cases_per_error(),
+        protocol.observation_ms
+    );
+    let error_set = error_set::e1();
+    let subset: Vec<_> = error_set.iter().take(errors).copied().collect();
+    let (runs, speedups) = sweep(protocol.clone(), &subset);
+
+    let int = |n: usize| Value::Int(n as i128);
+    let obj = |entries: Vec<(&str, Value)>| {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    };
+    let json = obj(vec![
+        ("benchmark", Value::Str("bench_campaign".to_owned())),
+        (
+            "grid",
+            Value::Str(if full_grid { "full-e1" } else { "smoke" }.to_owned()),
+        ),
+        (
+            "protocol",
+            obj(vec![
+                ("errors", int(errors)),
+                ("cases_per_error", int(protocol.cases_per_error())),
+                ("observation_ms", int(protocol.observation_ms as usize)),
+                (
+                    "injection_period_ms",
+                    int(protocol.injection_period_ms as usize),
+                ),
+            ]),
+        ),
+        ("trials", int(trials)),
+        (
+            "host_cores",
+            int(std::thread::available_parallelism().map_or(1, std::num::NonZero::get)),
+        ),
+        (
+            "runs",
+            Value::Array(
+                runs.iter()
+                    .map(|r| {
+                        obj(vec![
+                            ("mode", Value::Str(r.mode.to_owned())),
+                            ("workers", int(r.workers)),
+                            ("wall_s", Value::Float(r.wall_s)),
+                            ("trials_per_s", Value::Float(r.trials_per_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup_trials_per_s",
+            Value::Object(
+                speedups
+                    .iter()
+                    .map(|(w, s)| (format!("workers_{w}"), Value::Float(*s)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(
+        path,
+        format!("{}\n", serde_json::to_string_pretty(&json).unwrap()),
+    )
+    .expect("write benchmark JSON");
+    eprintln!("wrote {}", path.display());
+}
+
+fn default_json_path() -> std::path::PathBuf {
+    // crates/bench → repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_campaign.json")
+}
+
+fn criterion_campaign(c: &mut Criterion) {
+    let errors = error_set::e1();
+    let subset: Vec<_> = errors.iter().step_by(16).copied().collect(); // one per signal
+    let mut protocol = Protocol::scaled(2, 4_000);
+    protocol.workers = 1;
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("e1_replay", |b| {
+        let runner = CampaignRunner::new(protocol.clone()).with_checkpointing(false);
+        b.iter(|| black_box(runner.run_e1(&subset)))
+    });
+    group.bench_function("e1_checkpointed", |b| {
+        let runner = CampaignRunner::new(protocol.clone());
+        b.iter(|| black_box(runner.run_e1(&subset)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, criterion_campaign);
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mode_at = args.iter().position(|a| a == "--json" || a == "--smoke");
+    if let Some(i) = mode_at {
+        let path = args
+            .get(i + 1)
+            .filter(|a| !a.starts_with('-'))
+            .map_or_else(default_json_path, std::path::PathBuf::from);
+        if args[i] == "--json" {
+            write_json(&path, &Protocol::paper(), error_set::e1().len(), true);
+        } else {
+            let mut protocol = Protocol::scaled(2, 8_000);
+            protocol.workers = 0;
+            write_json(&path, &protocol, 14, false);
+        }
+        return;
+    }
+    benches();
+}

@@ -19,6 +19,12 @@
 //! per-tick trace capture, diffs it against the fault-free reference,
 //! and dumps a `fic::trace::ReproBundle` JSON under `--repro-dir`
 //! (default `results/repro`).
+//!
+//! Throughput: trials run checkpointed by default — the grid is grouped
+//! by test case, the fault-free prefix is simulated once per case and
+//! forked by every trial, and settled runs fast-forward to the end of
+//! the window (bit-identical results; see PERFORMANCE.md).
+//! `--no-checkpoint` forces the straight-line replay of every trial.
 
 use std::time::Instant;
 
@@ -71,7 +77,8 @@ fn main() {
         }
         eprintln!("      ok ({:.1?})", t0.elapsed());
 
-        let runner = CampaignRunner::new(protocol.clone());
+        let runner =
+            CampaignRunner::new(protocol.clone()).with_checkpointing(!options.no_checkpoint);
         let e2_errors = error_set::e2();
 
         let t1 = Instant::now();

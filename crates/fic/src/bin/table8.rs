@@ -30,7 +30,9 @@ fn main() {
             errors.len(),
             protocol.cases_per_error()
         );
-        let report = CampaignRunner::new(protocol).run_e1(&errors);
+        let report = CampaignRunner::new(protocol)
+            .with_checkpointing(!options.no_checkpoint)
+            .run_e1(&errors);
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         std::fs::write(
             options.out_dir.join("e1.json"),

@@ -29,7 +29,9 @@ fn main() {
             errors.len() * protocol.cases_per_error(),
             protocol.observation_ms
         );
-        let report = CampaignRunner::new(protocol).run_e2(&errors);
+        let report = CampaignRunner::new(protocol)
+            .with_checkpointing(!options.no_checkpoint)
+            .run_e2(&errors);
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         let path = options.out_dir.join("e2.json");
         std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())

@@ -1,8 +1,19 @@
 //! Parallel campaign execution: fan out ⟨error, test case⟩ pairs over
 //! worker threads, stream completed trials back to a single collector.
 //!
+//! By default trials run **checkpointed**: the grid is grouped by
+//! injection point (test case), the fault-free prefix of each case is
+//! simulated once and cached in a [`CheckpointCache`] shared across
+//! workers, and every trial of that case forks from the cached
+//! [`arrestor::Snapshot`] instead of replaying the prefix from t = 0.
+//! Combined with the steady-state fast-forward of
+//! [`arrestor::SettleDetector`], this cuts campaign wall clock without
+//! changing a single bit of any result (see `PERFORMANCE.md`);
+//! [`CampaignRunner::with_checkpointing`]`(false)` forces full replay
+//! as a cross-check.
+//!
 //! The collector (the calling thread) folds every trial into the report
-//! *and* appends it to the optional crash-safe [`journal`], so a killed
+//! *and* appends it to the optional crash-safe [`crate::journal`], so a killed
 //! campaign can be resumed with [`CampaignRunner::resume_e1`] /
 //! [`CampaignRunner::resume_e2`]: recorded trials are replayed from the
 //! journal and only the missing ⟨error, case⟩ pairs are re-executed.
@@ -12,26 +23,84 @@
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use crossbeam::channel;
 use simenv::TestCase;
 
 use crate::error_set::{E1Error, E2Error};
-use crate::experiment::{run_trial, Trial};
+use crate::experiment::{fault_free_prefix, run_trial, run_trial_checkpointed, Trial};
 use crate::journal::{CampaignKind, Journal, JournalError, JournalWriter};
 use crate::protocol::Protocol;
 use crate::results::{E1Report, E2Report};
+
+/// Fault-free prefix snapshots shared across campaign workers, one per
+/// test case.
+///
+/// Every trial of a campaign spends its first injection period — the
+/// fault-free prefix — in exactly one of
+/// [`Protocol::cases_per_error`] states, so the prefix is simulated
+/// once per case and the resulting [`arrestor::Snapshot`] is forked by
+/// every trial of that case. The cache is lazy: a prefix is built by
+/// the first worker that needs it and shared (via [`Arc`]) with the
+/// rest.
+#[derive(Debug, Default)]
+pub struct CheckpointCache {
+    prefixes: Mutex<HashMap<usize, Arc<arrestor::Snapshot>>>,
+}
+
+impl CheckpointCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fault-free prefix for `case`, built on first use.
+    pub fn prefix(
+        &self,
+        protocol: &Protocol,
+        case_index: usize,
+        case: TestCase,
+    ) -> Arc<arrestor::Snapshot> {
+        let mut map = self.prefixes.lock().expect("no panics while holding lock");
+        Arc::clone(
+            map.entry(case_index)
+                .or_insert_with(|| Arc::new(fault_free_prefix(protocol, case))),
+        )
+    }
+}
 
 /// Executes error-injection campaigns under a protocol.
 #[derive(Debug, Clone)]
 pub struct CampaignRunner {
     protocol: Protocol,
+    checkpointing: bool,
 }
 
 impl CampaignRunner {
-    /// A runner for the given protocol.
+    /// A runner for the given protocol. Checkpointed execution is on by
+    /// default; disable it with [`CampaignRunner::with_checkpointing`]
+    /// to force full from-t=0 replay of every trial.
     pub fn new(protocol: Protocol) -> Self {
-        CampaignRunner { protocol }
+        CampaignRunner {
+            protocol,
+            checkpointing: true,
+        }
+    }
+
+    /// Enables or disables checkpointed trial execution (prefix
+    /// forking plus steady-state fast-forward). Results are
+    /// bit-identical either way; replay mode exists as a cross-check
+    /// and baseline.
+    #[must_use]
+    pub fn with_checkpointing(mut self, enabled: bool) -> Self {
+        self.checkpointing = enabled;
+        self
+    }
+
+    /// Whether trials fork from cached fault-free prefixes.
+    pub const fn checkpointing(&self) -> bool {
+        self.checkpointing
     }
 
     /// The protocol in use.
@@ -261,8 +330,16 @@ impl CampaignRunner {
     {
         let cases: Vec<TestCase> = self.protocol.grid.cases();
         let workers = self.protocol.effective_workers().max(1);
+        let mut pending: Vec<(usize, usize)> = pending.to_vec();
+        if self.checkpointing {
+            // Group the grid by injection point (case-major order): all
+            // trials of a test case run back to back, so its fault-free
+            // prefix is built once and stays hot in the cache.
+            pending.sort_unstable_by_key(|&(ei, ci)| (ci, ei));
+        }
+        let cache = self.checkpointing.then(|| Arc::new(CheckpointCache::new()));
         let (work_tx, work_rx) = channel::unbounded::<(usize, usize)>();
-        for &pair in pending {
+        for &pair in &pending {
             work_tx.send(pair).expect("queue is open");
         }
         drop(work_tx);
@@ -275,9 +352,21 @@ impl CampaignRunner {
                 let result_tx = result_tx.clone();
                 let cases = &cases;
                 let protocol = &self.protocol;
+                let cache = cache.clone();
                 scope.spawn(move || {
                     while let Ok((ei, ci)) = work_rx.recv() {
-                        let trial = run_trial(protocol, errors[ei].flip(), cases[ci]);
+                        let trial = match &cache {
+                            Some(cache) => {
+                                let prefix = cache.prefix(protocol, ci, cases[ci]);
+                                run_trial_checkpointed(
+                                    protocol,
+                                    errors[ei].flip(),
+                                    cases[ci],
+                                    &prefix,
+                                )
+                            }
+                            None => run_trial(protocol, errors[ei].flip(), cases[ci]),
+                        };
                         result_tx
                             .send((ei, ci, trial))
                             .expect("collector outlives workers");
@@ -361,6 +450,18 @@ mod tests {
         // Every mscnt error is caught by EA6 within a short window.
         let row = &report.rows[EaId::Ea6.index()];
         assert_eq!(row.cells[EaId::Ea6.index()].all.detected(), 16);
+    }
+
+    #[test]
+    fn checkpointed_run_equals_replay_run() {
+        let protocol = Protocol::scaled(2, 1_500);
+        let runner = CampaignRunner::new(protocol);
+        assert!(runner.checkpointing());
+        let errors = error_set::e1();
+        let subset = &errors[78..84]; // spans the SetValue/mscnt boundary
+        let fast = runner.run_e1(subset);
+        let slow = runner.clone().with_checkpointing(false).run_e1(subset);
+        assert_eq!(fast, slow);
     }
 
     #[test]

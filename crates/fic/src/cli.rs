@@ -24,7 +24,11 @@
 //!   or golden-table failure, dump a minimal reproducer bundle
 //!   (`fic::trace::ReproBundle`) for the offending ⟨error, case⟩;
 //! * `--repro-dir <dir>` — where reproducer bundles go (default
-//!   `results/repro`).
+//!   `results/repro`);
+//! * `--no-checkpoint` — disable checkpointed trial execution (prefix
+//!   forking and steady-state fast-forward) and replay every trial from
+//!   t = 0. Results are bit-identical either way; this is the slow
+//!   cross-check and benchmark baseline.
 
 use std::path::PathBuf;
 
@@ -59,6 +63,9 @@ pub struct CliOptions {
     pub trace: bool,
     /// Where reproducer bundles are written.
     pub repro_dir: PathBuf,
+    /// Replay every trial from t = 0 instead of forking cached
+    /// fault-free prefixes.
+    pub no_checkpoint: bool,
 }
 
 impl Default for CliOptions {
@@ -77,6 +84,7 @@ impl Default for CliOptions {
             golden_dir: PathBuf::from("results/golden"),
             trace: false,
             repro_dir: PathBuf::from("results/repro"),
+            no_checkpoint: false,
         }
     }
 }
@@ -93,7 +101,7 @@ impl CliOptions {
                     "usage: [--scale n] [--observation ms] [--workers n] [--out dir] \
                      [--load file] [--journal file] [--resume] [--from-journal file] \
                      [--check-golden] [--refresh-golden] [--golden-dir dir] \
-                     [--trace] [--repro-dir dir]"
+                     [--trace] [--repro-dir dir] [--no-checkpoint]"
                 );
                 std::process::exit(2);
             }
@@ -148,6 +156,7 @@ impl CliOptions {
                 "--golden-dir" => options.golden_dir = PathBuf::from(value("--golden-dir")?),
                 "--trace" => options.trace = true,
                 "--repro-dir" => options.repro_dir = PathBuf::from(value("--repro-dir")?),
+                "--no-checkpoint" => options.no_checkpoint = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -198,6 +207,7 @@ mod tests {
         assert!(options.journal.is_none() && options.from_journal.is_none());
         assert!(!options.trace);
         assert_eq!(options.repro_dir, PathBuf::from("results/repro"));
+        assert!(!options.no_checkpoint);
     }
 
     #[test]
@@ -206,6 +216,12 @@ mod tests {
         assert!(options.trace);
         assert_eq!(options.repro_dir, PathBuf::from("/tmp/repro"));
         assert!(CliOptions::parse(&args(&["--repro-dir"])).is_err());
+    }
+
+    #[test]
+    fn parses_no_checkpoint() {
+        let options = CliOptions::parse(&args(&["--no-checkpoint"])).unwrap();
+        assert!(options.no_checkpoint);
     }
 
     #[test]

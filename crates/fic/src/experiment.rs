@@ -62,6 +62,64 @@ pub fn run_trial_traced(
     (trial, trace.expect("tracing was enabled"))
 }
 
+/// [`run_trial`] resumed from a fault-free prefix [`arrestor::Snapshot`]
+/// instead of replaying the prefix from t = 0, with steady-state
+/// fast-forward: once the [`arrestor::SettleDetector`] proves the run's
+/// outputs are final, the remaining window is skipped.
+///
+/// The returned [`Trial`] is bit-identical to [`run_trial`]'s — the
+/// prefix fork is a deep copy of a deterministic simulation, and the
+/// detector only fires on a proven state recurrence (see
+/// [`arrestor::checkpoint`] for the argument). The equivalence is
+/// enforced by the checkpoint-equivalence test suite and by the
+/// committed table fixtures.
+///
+/// `prefix` must come from [`fault_free_prefix`] for the same protocol
+/// and case (checked in debug builds).
+pub fn run_trial_checkpointed(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+) -> Trial {
+    debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
+    let mut system = prefix.resume();
+    let period = protocol.injection_period_ms.max(1);
+    let mut settle = arrestor::SettleDetector::new(&system, Some(flip), period);
+
+    while system.time_ms() < protocol.observation_ms {
+        let t = system.time_ms();
+        if settle.check(&system) {
+            break;
+        }
+        if t > 0 && t.is_multiple_of(period) {
+            system.inject(flip);
+        }
+        system.tick();
+    }
+
+    finish_trial(system, period).0
+}
+
+/// Simulates the fault-free prefix of a trial — everything strictly
+/// before the first injection instant — and freezes it for forking
+/// with [`run_trial_checkpointed`].
+pub fn fault_free_prefix(protocol: &Protocol, case: TestCase) -> arrestor::Snapshot {
+    let config = RunConfig {
+        observation_ms: protocol.observation_ms,
+        ..RunConfig::default()
+    };
+    let mut system = System::new(case, config);
+    let first_injection = protocol
+        .injection_period_ms
+        .max(1)
+        .min(protocol.observation_ms);
+    while system.time_ms() < first_injection {
+        system.tick();
+    }
+    system.checkpoint()
+}
+
 fn run_trial_impl(
     protocol: &Protocol,
     flip: BitFlip,
@@ -75,7 +133,6 @@ fn run_trial_impl(
     };
     let mut system = System::new(case, config);
     let period = protocol.injection_period_ms.max(1);
-    let first_injection_ms = period;
 
     while system.time_ms() < protocol.observation_ms {
         let t = system.time_ms();
@@ -85,6 +142,10 @@ fn run_trial_impl(
         system.tick();
     }
 
+    finish_trial(system, period)
+}
+
+fn finish_trial(system: System, first_injection_ms: u64) -> (Trial, Option<arrestor::Trace>) {
     let outcome = system.finish();
     let mut per_ea_first_ms: [Option<u64>; 7] = [None; 7];
     for event in &outcome.detections {

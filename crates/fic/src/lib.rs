@@ -59,9 +59,11 @@ pub mod results;
 pub mod tables;
 pub mod trace;
 
-pub use campaign::CampaignRunner;
+pub use campaign::{CampaignRunner, CheckpointCache};
 pub use error_set::{E1Error, E2Error};
-pub use experiment::{run_trial, run_trial_traced, Trial};
+pub use experiment::{
+    fault_free_prefix, run_trial, run_trial_checkpointed, run_trial_traced, Trial,
+};
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, TrialRecord};
 pub use protocol::Protocol;
 pub use results::{E1Report, E2Report, SignalRow};

@@ -183,6 +183,26 @@ impl FailureMonitor {
         self.arrested |= state.arrested;
     }
 
+    /// Peak retardation accumulated so far, m/s².
+    pub const fn peak_retardation_ms2(&self) -> f64 {
+        self.peak_retardation_ms2
+    }
+
+    /// Peak cable force accumulated so far, N.
+    pub const fn peak_force_n(&self) -> f64 {
+        self.peak_force_n
+    }
+
+    /// Greatest distance travelled so far, m.
+    pub const fn max_distance_m(&self) -> f64 {
+        self.max_distance_m
+    }
+
+    /// Whether an arrested plant state has been observed.
+    pub const fn arrested(&self) -> bool {
+        self.arrested
+    }
+
     /// Classifies the run against the constraints for the given case.
     pub fn verdict(&self, constraints: &Constraints, case: TestCase) -> Verdict {
         let mut causes = Vec::new();
