@@ -150,6 +150,36 @@ const RING: usize = 64;
 /// captures are what long-period recurrences match against).
 const BACKOFF_MISSES: u32 = 32;
 
+/// Which argument proved a run's outputs final (telemetry: the
+/// settle detector's effectiveness is invisible without knowing *why*
+/// runs stop, not just that they do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleProof {
+    /// A hung node over an arrested plant: doubly frozen.
+    FrozenHung,
+    /// The invariant projection and the clock trio recurred exactly
+    /// (offset δ = 0).
+    ExactRecurrence,
+    /// Recurrence up to a joint translation of the clock trio
+    /// (δ ≠ 0).
+    TranslatedRecurrence,
+    /// The retired-clock rule: `sys_mode` STOPPED on both sides of a
+    /// clock-targeting flip with EA6's first detection logged.
+    RetiredClock,
+}
+
+impl SettleProof {
+    /// Stable metric-label form (`frozen_hung`, `exact`, …).
+    pub const fn label(self) -> &'static str {
+        match self {
+            SettleProof::FrozenHung => "frozen_hung",
+            SettleProof::ExactRecurrence => "exact",
+            SettleProof::TranslatedRecurrence => "translated",
+            SettleProof::RetiredClock => "retired_clock",
+        }
+    }
+}
+
 /// Steady-state recurrence detector for one run.
 ///
 /// Construct once per trial, then call [`SettleDetector::check`] at
@@ -177,6 +207,11 @@ pub struct SettleDetector {
     mscnt_modulus: u32,
     flip_hits_prev_mscnt: bool,
     flip_hits_sys_mode: bool,
+    /// Fingerprints taken so far (telemetry: fingerprinting cost).
+    captures: u64,
+    /// What proved the run settled, once [`SettleDetector::check`]
+    /// has returned `true`.
+    proof: Option<SettleProof>,
 }
 
 /// One aligned state capture: an invariant byte projection (prefixed
@@ -242,7 +277,21 @@ impl SettleDetector {
             flip_hits_sys_mode: flip
                 .as_ref()
                 .is_some_and(|f| in_cell(Region::AppRam, sys_mode_addr, f)),
+            captures: 0,
+            proof: None,
         }
+    }
+
+    /// Fingerprints taken so far.
+    pub const fn captures(&self) -> u64 {
+        self.captures
+    }
+
+    /// The argument that proved the run settled, once
+    /// [`SettleDetector::check`] has returned `true`; `None` while the
+    /// run is still live.
+    pub const fn proof(&self) -> Option<SettleProof> {
+        self.proof
     }
 
     /// Observes the system at the top of a tick-loop iteration (before
@@ -263,6 +312,7 @@ impl SettleDetector {
         // delays the exit by under one stride of a frozen system,
         // which cannot change any output.
         if system.master().hung() && system.failmon().arrested() {
+            self.proof = Some(SettleProof::FrozenHung);
             return true;
         }
         if t == 0 || !t.is_multiple_of(self.stride_ms) {
@@ -276,7 +326,9 @@ impl SettleDetector {
             return false;
         }
         let current = self.capture(system);
-        if self.ring.iter().any(|old| self.matches(&current, old)) {
+        self.captures += 1;
+        if let Some(proof) = self.ring.iter().find_map(|old| self.matches(&current, old)) {
+            self.proof = Some(proof);
             return true;
         }
         if self.ring.len() == RING {
@@ -374,9 +426,10 @@ impl SettleDetector {
         }
     }
 
-    fn matches(&self, current: &Fingerprint, old: &Fingerprint) -> bool {
+    /// Whether `current` recurs from `old`, and under which rule.
+    fn matches(&self, current: &Fingerprint, old: &Fingerprint) -> Option<SettleProof> {
         if current.hash != old.hash || current.kernel != old.kernel || current.bytes != old.bytes {
-            return false;
+            return None;
         }
         // Retired-clock rule: once `sys_mode` is STOPPED, CALC's
         // velocity/stall pass — the only reader of the clock besides
@@ -391,7 +444,7 @@ impl SettleDetector {
             && old.sys_mode == mode::STOPPED
             && old.ea6_decided
         {
-            return true;
+            return Some(SettleProof::RetiredClock);
         }
         // The clock and EA6's previous sample must agree on one joint
         // offset δ (mod 2^16).
@@ -404,13 +457,18 @@ impl SettleDetector {
             _ => false,
         };
         if !ea6_shifted {
-            return false;
+            return None;
         }
         if delta != 0 && self.flip_hits_mscnt && u32::from(delta) % self.mscnt_modulus != 0 {
-            return false;
+            return None;
         }
+        let proof = if delta == 0 {
+            SettleProof::ExactRecurrence
+        } else {
+            SettleProof::TranslatedRecurrence
+        };
         let prev_delta = current.prev_mscnt.wrapping_sub(old.prev_mscnt);
-        if prev_delta == delta {
+        let accepted = if prev_delta == delta {
             // Raw-equal (δ = 0) or co-translated with the clock; a
             // translated cell must not be XOR-ed by the flip itself.
             delta == 0 || !self.flip_hits_prev_mscnt
@@ -424,7 +482,8 @@ impl SettleDetector {
                     || current.kernel.calc_halted())
         } else {
             false
-        }
+        };
+        accepted.then_some(proof)
     }
 }
 

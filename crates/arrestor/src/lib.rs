@@ -56,7 +56,7 @@ pub mod stackmodel;
 pub mod system;
 pub mod trace;
 
-pub use checkpoint::{SettleDetector, Snapshot};
+pub use checkpoint::{SettleDetector, SettleProof, Snapshot};
 pub use detectors::{Detectors, EaId, EaSet};
 pub use instrument::{build_detectors, placement_plan};
 pub use kernel::{ControlFlowFault, KernelState};

@@ -141,6 +141,35 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
             int(std::thread::available_parallelism().map_or(1, std::num::NonZero::get)),
         ),
         (
+            // Provenance: which code produced these numbers, and what
+            // shapes were swept. Mirrors the campaign telemetry
+            // reports' run metadata (see OBSERVABILITY.md).
+            "run_metadata",
+            obj(vec![
+                ("git_sha", Value::Str(fic::telemetry::git_sha())),
+                (
+                    "worker_counts",
+                    Value::Array(worker_counts().into_iter().map(int).collect()),
+                ),
+                (
+                    "checkpoint_modes",
+                    Value::Array(
+                        ["replay", "checkpointed"]
+                            .into_iter()
+                            .map(|m| Value::Str(m.to_owned()))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "grid",
+                    obj(vec![
+                        ("errors", int(errors)),
+                        ("cases_per_error", int(protocol.cases_per_error())),
+                    ]),
+                ),
+            ]),
+        ),
+        (
             "runs",
             Value::Array(
                 runs.iter()

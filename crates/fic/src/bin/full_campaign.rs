@@ -25,14 +25,25 @@
 //! forked by every trial, and settled runs fast-forward to the end of
 //! the window (bit-identical results; see PERFORMANCE.md).
 //! `--no-checkpoint` forces the straight-line replay of every trial.
+//!
+//! Observability: unless `--no-telemetry` is given, the run collects
+//! campaign/cache/settle/journal metrics, renders a live progress line
+//! on stderr (when it is a terminal), optionally streams progress
+//! snapshots to `--telemetry-jsonl <file>`, and writes a
+//! schema-versioned report under `<out>/telemetry/` at the end (see
+//! OBSERVABILITY.md). Telemetry never changes a result bit.
+//!
+//! Scale-out: `--shard k/n` runs only the k-th of n deterministic grid
+//! slices; shard journals are combined with the `merge_journals`
+//! binary and rendered with `--from-journal`.
 
 use std::time::Instant;
 
 use fic::cli::CliOptions;
 use fic::error_set::E1Error;
-use fic::journal::{Journal, JournalWriter};
+use fic::journal::{Journal, JournalWriter, ShardSpec};
 use fic::trace::{self, ReproBundle, ReproError};
-use fic::{error_set, golden, run_trial_traced, tables, CampaignRunner, Protocol};
+use fic::{error_set, golden, run_trial_traced, tables, Protocol};
 
 fn main() {
     let options = CliOptions::from_env();
@@ -77,8 +88,16 @@ fn main() {
         }
         eprintln!("      ok ({:.1?})", t0.elapsed());
 
-        let runner =
-            CampaignRunner::new(protocol.clone()).with_checkpointing(!options.no_checkpoint);
+        let registry = options.registry();
+        let runner = options.runner(registry.as_ref());
+        if let Some((index, count)) = options.shard {
+            eprintln!("shard {index}/{count}: running that slice of the grid only");
+            if options.check_golden {
+                eprintln!(
+                    "warning: a shard's tables cover a grid slice; the golden check will diverge"
+                );
+            }
+        }
         let e2_errors = error_set::e2();
 
         let t1 = Instant::now();
@@ -103,8 +122,15 @@ fn main() {
                 eprintln!("      done ({:.1?})", t2.elapsed());
             }
             Some(journal_path) => {
-                let mut writer =
-                    JournalWriter::create(journal_path, &protocol).expect("create journal");
+                let shard = options
+                    .shard
+                    .map(|(index, count)| ShardSpec { index, count });
+                let mut writer = JournalWriter::create_sharded(journal_path, &protocol, shard)
+                    .expect("create journal");
+                if let Some(registry) = &registry {
+                    writer =
+                        writer.with_telemetry(fic::journal::JournalTelemetry::register(registry));
+                }
                 e1_report = runner
                     .run_e1_journaled(&e1_errors, &mut writer)
                     .expect("journaled E1 campaign");
@@ -125,6 +151,10 @@ fn main() {
                 e2_report = runner.run_e2(&e2_errors);
                 eprintln!("      done ({:.1?})", t2.elapsed());
             }
+        }
+
+        if let Some(registry) = &registry {
+            options.emit_telemetry("full_campaign", registry);
         }
         (protocol, e1_report, e2_report)
     };

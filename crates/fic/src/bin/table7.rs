@@ -9,7 +9,7 @@
 
 use fic::cli::CliOptions;
 use fic::journal::Journal;
-use fic::{error_set, golden, tables, CampaignRunner, E1Report};
+use fic::{error_set, golden, tables, E1Report};
 
 fn main() {
     let options = CliOptions::from_env();
@@ -37,9 +37,11 @@ fn main() {
             errors.len() * protocol.cases_per_error(),
             protocol.observation_ms
         );
-        let report = CampaignRunner::new(protocol)
-            .with_checkpointing(!options.no_checkpoint)
-            .run_e1(&errors);
+        let registry = options.registry();
+        let report = options.runner(registry.as_ref()).run_e1(&errors);
+        if let Some(registry) = &registry {
+            options.emit_telemetry("table7", registry);
+        }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         let path = options.out_dir.join("e1.json");
         std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())

@@ -8,7 +8,7 @@
 
 use fic::cli::CliOptions;
 use fic::journal::Journal;
-use fic::{error_set, golden, tables, CampaignRunner, E1Report};
+use fic::{error_set, golden, tables, E1Report};
 
 fn main() {
     let options = CliOptions::from_env();
@@ -30,9 +30,11 @@ fn main() {
             errors.len(),
             protocol.cases_per_error()
         );
-        let report = CampaignRunner::new(protocol)
-            .with_checkpointing(!options.no_checkpoint)
-            .run_e1(&errors);
+        let registry = options.registry();
+        let report = options.runner(registry.as_ref()).run_e1(&errors);
+        if let Some(registry) = &registry {
+            options.emit_telemetry("table8", registry);
+        }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         std::fs::write(
             options.out_dir.join("e1.json"),

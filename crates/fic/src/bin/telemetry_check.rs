@@ -1,0 +1,199 @@
+//! Validates telemetry artefacts — the CI smoke gate for the
+//! observability layer:
+//!
+//! * `--report <file>` — parse a `results/telemetry/*.json` report and
+//!   run the structural schema checks ([`fic::telemetry::TelemetryReport::validate`]);
+//! * `--jsonl <file>` — parse a `--telemetry-jsonl` progress stream:
+//!   every line must be a well-formed progress event of the pinned
+//!   schema version, with `trials_done` monotone (and bounded by
+//!   `trials_total`) within each phase;
+//! * `--journal <file>` — cross-check the report's checkpoint-cache
+//!   counters against ground truth derivable from the trial journal of
+//!   the *same fresh run*: per campaign, the cache misses once per
+//!   distinct test case and hits on every further trial, so
+//!   `misses = Σ distinct cases` and `hits = records − misses`. (A
+//!   resumed run re-misses already-journaled cases; this check is for
+//!   fresh runs, which is what CI produces.)
+//!
+//! Exits 0 when every requested check passes, 1 otherwise.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fic::journal::Journal;
+use fic::telemetry::{ProgressEvent, TelemetryReport, SCHEMA_VERSION};
+
+fn usage() -> ! {
+    eprintln!("usage: telemetry_check [--report file] [--jsonl file] [--journal file]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut report_path: Option<PathBuf> = None;
+    let mut jsonl_path: Option<PathBuf> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().cloned().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--report" => report_path = Some(PathBuf::from(value("--report"))),
+            "--jsonl" => jsonl_path = Some(PathBuf::from(value("--jsonl"))),
+            "--journal" => journal_path = Some(PathBuf::from(value("--journal"))),
+            _ => usage(),
+        }
+    }
+    if report_path.is_none() && jsonl_path.is_none() {
+        usage();
+    }
+    if journal_path.is_some() && report_path.is_none() {
+        eprintln!("--journal cross-checks a report; it needs --report");
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+
+    let report = report_path.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report: TelemetryReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!(
+                "{} does not parse as a telemetry report: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        report
+    });
+    if let (Some(report), Some(path)) = (&report, &report_path) {
+        match report.validate() {
+            Ok(()) => println!("report {}: schema ok", path.display()),
+            Err(e) => {
+                eprintln!("report {}: INVALID: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+
+    if let Some(path) = &jsonl_path {
+        match check_jsonl(path) {
+            Ok(events) => println!("stream {}: {events} event(s), monotone", path.display()),
+            Err(e) => {
+                eprintln!("stream {}: INVALID: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+
+    if let (Some(report), Some(path)) = (&report, &journal_path) {
+        match check_cache_counters(report, path) {
+            Ok((hits, misses)) => println!(
+                "journal {}: cache counters match ({hits} hits, {misses} misses)",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("journal {}: MISMATCH: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} telemetry check(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Every line parses, carries the pinned schema version, and is
+/// monotone in `trials_done` (bounded by `trials_total`) per phase.
+fn check_jsonl(path: &std::path::Path) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut last_done: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut events = 0usize;
+    for (k, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event: ProgressEvent =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", k + 1))?;
+        if event.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "line {}: schema_version {} (this build reads {})",
+                k + 1,
+                event.schema_version,
+                SCHEMA_VERSION
+            ));
+        }
+        if event.event != "progress" {
+            return Err(format!(
+                "line {}: unexpected event `{}`",
+                k + 1,
+                event.event
+            ));
+        }
+        if event.trials_done > event.trials_total {
+            return Err(format!(
+                "line {}: trials_done {} exceeds total {}",
+                k + 1,
+                event.trials_done,
+                event.trials_total
+            ));
+        }
+        let last = last_done.entry(event.phase.clone()).or_insert(0);
+        if event.trials_done < *last {
+            return Err(format!(
+                "line {}: trials_done regressed {} -> {} in phase {}",
+                k + 1,
+                *last,
+                event.trials_done,
+                event.phase
+            ));
+        }
+        *last = event.trials_done;
+        events += 1;
+    }
+    if events == 0 {
+        return Err("stream holds no events".to_owned());
+    }
+    Ok(events)
+}
+
+/// The report's checkpoint-cache hit/miss counters equal the values a
+/// fresh run's journal implies.
+fn check_cache_counters(
+    report: &TelemetryReport,
+    path: &std::path::Path,
+) -> Result<(u64, u64), String> {
+    let journal = Journal::load(path).map_err(|e| e.to_string())?;
+    // The cache is created per campaign execution, so E1 and E2 each
+    // miss once per distinct case they actually ran.
+    let mut expected_misses = 0u64;
+    for kind in [fic::CampaignKind::E1, fic::CampaignKind::E2] {
+        let cases: HashSet<usize> = journal
+            .records
+            .iter()
+            .filter(|r| r.campaign == kind)
+            .map(|r| r.case_index)
+            .collect();
+        expected_misses += cases.len() as u64;
+    }
+    let expected_hits = journal.records.len() as u64 - expected_misses;
+    let hits = report.snapshot.counter("campaign.checkpoint.cache.hits");
+    let misses = report.snapshot.counter("campaign.checkpoint.cache.misses");
+    if (hits, misses) != (expected_hits, expected_misses) {
+        return Err(format!(
+            "report says {hits} hits / {misses} misses; journal implies \
+             {expected_hits} / {expected_misses}"
+        ));
+    }
+    Ok((hits, misses))
+}

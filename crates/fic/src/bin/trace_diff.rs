@@ -25,7 +25,7 @@ use std::process::ExitCode;
 
 use fic::error_set;
 use fic::trace::{self, ReferenceCache, ReproBundle, ReproError};
-use fic::{run_trial_traced, Protocol};
+use fic::{run_trial_traced, telemetry, Protocol};
 use memsim::BitFlip;
 use simenv::TestCase;
 
@@ -136,7 +136,8 @@ fn main() -> ExitCode {
 
     // Phase 1: determinism gate. Two independent fault-free recordings
     // of every case must be bit-identical.
-    let cache = ReferenceCache::new(protocol.clone());
+    let registry = telemetry::Registry::new();
+    let cache = ReferenceCache::new(protocol.clone()).with_telemetry(&registry);
     for (idx, case) in cases.iter().enumerate() {
         let reference = cache.get(*case);
         let rerun = trace::record_reference(&protocol, *case);
@@ -196,6 +197,7 @@ fn main() -> ExitCode {
         let reference = cache.get(*case);
         let (trial, observed) = run_trial_traced(&protocol, flip, *case);
         let diff = trace::diff(&reference, &observed);
+        trace::record_divergence_to_detection(&registry, &diff, &trial);
         let detection_ms = trial.first_detection(arrestor::EaSet::ALL);
         if diff.diverged() {
             diverged_cases += 1;
@@ -283,6 +285,18 @@ fn main() -> ExitCode {
             100.0 * reached[k] as f64 / cases.len() as f64
         );
     }
+    let snapshot = registry.snapshot();
+    eprint!("{}", telemetry::render_summary(&snapshot));
+    let report = telemetry::TelemetryReport::assemble(
+        "trace_diff",
+        telemetry::RunMetadata::for_run(&protocol, false, None),
+        snapshot,
+    );
+    match telemetry::write_report(&PathBuf::from("results/telemetry"), "trace_diff", &report) {
+        Ok(path) => eprintln!("telemetry report written to {}", path.display()),
+        Err(e) => eprintln!("failed to write telemetry report: {e}"),
+    }
+
     if failures > 0 {
         eprintln!("{failures} oracle violation(s)");
         return ExitCode::FAILURE;

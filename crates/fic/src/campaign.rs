@@ -22,17 +22,21 @@
 
 use std::collections::{HashMap, HashSet};
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use crossbeam::channel;
 use simenv::TestCase;
 
 use crate::error_set::{E1Error, E2Error};
-use crate::experiment::{fault_free_prefix, run_trial, run_trial_checkpointed, Trial};
-use crate::journal::{CampaignKind, Journal, JournalError, JournalWriter};
+use crate::experiment::{
+    fault_free_prefix, run_trial, run_trial_checkpointed_observed, Trial, TrialExecution,
+};
+use crate::journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec};
 use crate::protocol::Protocol;
 use crate::results::{E1Report, E2Report};
+use crate::telemetry;
 
 /// Fault-free prefix snapshots shared across campaign workers, one per
 /// test case.
@@ -62,12 +66,130 @@ impl CheckpointCache {
         case_index: usize,
         case: TestCase,
     ) -> Arc<arrestor::Snapshot> {
-        let mut map = self.prefixes.lock().expect("no panics while holding lock");
-        Arc::clone(
-            map.entry(case_index)
-                .or_insert_with(|| Arc::new(fault_free_prefix(protocol, case))),
-        )
+        self.prefix_observed(protocol, case_index, case, None)
     }
+
+    /// [`CheckpointCache::prefix`] with hit/miss accounting and a
+    /// snapshot-build span recorded into the campaign telemetry.
+    pub fn prefix_observed(
+        &self,
+        protocol: &Protocol,
+        case_index: usize,
+        case: TestCase,
+        tel: Option<&CampaignTelemetry>,
+    ) -> Arc<arrestor::Snapshot> {
+        let mut map = self.prefixes.lock().expect("no panics while holding lock");
+        if let Some(existing) = map.get(&case_index) {
+            if let Some(t) = tel {
+                t.cache_hits.inc();
+            }
+            return Arc::clone(existing);
+        }
+        if let Some(t) = tel {
+            t.cache_misses.inc();
+        }
+        let span = tel.map(|t| telemetry::SpanTimer::start(Arc::clone(&t.snapshot_build_us)));
+        let snapshot = Arc::new(fault_free_prefix(protocol, case));
+        drop(span);
+        map.insert(case_index, Arc::clone(&snapshot));
+        snapshot
+    }
+}
+
+/// Shared metric handles for the campaign execution path, registered
+/// once per campaign execution from the runner's
+/// [`telemetry::Registry`] and updated lock-free by workers and the
+/// collector. See `OBSERVABILITY.md` for the catalogue.
+#[derive(Debug, Clone)]
+pub struct CampaignTelemetry {
+    registry: Arc<telemetry::Registry>,
+    cache_hits: Arc<telemetry::Counter>,
+    cache_misses: Arc<telemetry::Counter>,
+    snapshot_build_us: Arc<telemetry::Histogram>,
+    queue_wait_us: Arc<telemetry::Histogram>,
+    settle_stop_ms: Arc<telemetry::Histogram>,
+    settle_captures: Arc<telemetry::Histogram>,
+    trials: Arc<telemetry::Counter>,
+    trials_settled: Arc<telemetry::Counter>,
+    trials_full_window: Arc<telemetry::Counter>,
+    window_ms_simulated: Arc<telemetry::Counter>,
+    window_ms_skipped: Arc<telemetry::Counter>,
+    proof_exact: Arc<telemetry::Counter>,
+    proof_translated: Arc<telemetry::Counter>,
+    proof_retired: Arc<telemetry::Counter>,
+    proof_frozen: Arc<telemetry::Counter>,
+}
+
+impl CampaignTelemetry {
+    /// Registers the campaign metric family in `registry`.
+    pub fn register(registry: &Arc<telemetry::Registry>) -> Self {
+        CampaignTelemetry {
+            cache_hits: registry.counter("campaign.checkpoint.cache.hits"),
+            cache_misses: registry.counter("campaign.checkpoint.cache.misses"),
+            snapshot_build_us: registry.histogram(
+                "campaign.checkpoint.snapshot_build_us",
+                &telemetry::span_bounds_us(),
+            ),
+            queue_wait_us: registry.histogram(
+                "campaign.worker.queue_wait_us",
+                &telemetry::span_bounds_us(),
+            ),
+            settle_stop_ms: registry
+                .histogram("campaign.settle.stop_ms", &telemetry::latency_bounds_ms()),
+            settle_captures: registry
+                .histogram("campaign.settle.captures", &telemetry::small_count_bounds()),
+            trials: registry.counter("campaign.trials"),
+            trials_settled: registry.counter("campaign.trials.settled"),
+            trials_full_window: registry.counter("campaign.trials.full_window"),
+            window_ms_simulated: registry.counter("campaign.window_ms.simulated"),
+            window_ms_skipped: registry.counter("campaign.window_ms.skipped"),
+            proof_exact: registry.counter("campaign.settle.proof.exact"),
+            proof_translated: registry.counter("campaign.settle.proof.translated"),
+            proof_retired: registry.counter("campaign.settle.proof.retired_clock"),
+            proof_frozen: registry.counter("campaign.settle.proof.frozen_hung"),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// The registry these handles were drawn from.
+    pub fn registry(&self) -> &Arc<telemetry::Registry> {
+        &self.registry
+    }
+
+    /// Folds one trial's execution shape into the metrics.
+    fn observe_execution(&self, exec: &TrialExecution) {
+        self.window_ms_simulated.add(exec.simulated_ms);
+        self.window_ms_skipped.add(exec.skipped_ms);
+        self.settle_captures.record(exec.settle_captures);
+        match exec.settle_stop_ms {
+            Some(ms) => {
+                self.trials_settled.inc();
+                self.settle_stop_ms.record(ms);
+            }
+            None => self.trials_full_window.inc(),
+        }
+        if let Some(proof) = exec.settle_proof {
+            match proof {
+                arrestor::SettleProof::ExactRecurrence => self.proof_exact.inc(),
+                arrestor::SettleProof::TranslatedRecurrence => self.proof_translated.inc(),
+                arrestor::SettleProof::RetiredClock => self.proof_retired.inc(),
+                arrestor::SettleProof::FrozenHung => self.proof_frozen.inc(),
+            }
+        }
+    }
+}
+
+/// Live-progress configuration for [`CampaignRunner::with_progress`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgressOptions {
+    /// Render the throttled single-line TTY status on stderr (only
+    /// when stderr actually is a terminal).
+    pub live: bool,
+    /// Append machine-readable [`telemetry::ProgressEvent`]s to this
+    /// JSONL file (`--telemetry-jsonl`).
+    pub stream_path: Option<PathBuf>,
+    /// Trials between stream events (0 means the default of 64).
+    pub stream_every: u64,
 }
 
 /// Executes error-injection campaigns under a protocol.
@@ -75,16 +197,23 @@ impl CheckpointCache {
 pub struct CampaignRunner {
     protocol: Protocol,
     checkpointing: bool,
+    telemetry: Option<Arc<telemetry::Registry>>,
+    progress: Option<ProgressOptions>,
+    shard: Option<ShardSpec>,
 }
 
 impl CampaignRunner {
     /// A runner for the given protocol. Checkpointed execution is on by
     /// default; disable it with [`CampaignRunner::with_checkpointing`]
-    /// to force full from-t=0 replay of every trial.
+    /// to force full from-t=0 replay of every trial. Telemetry,
+    /// progress and sharding are all off by default.
     pub fn new(protocol: Protocol) -> Self {
         CampaignRunner {
             protocol,
             checkpointing: true,
+            telemetry: None,
+            progress: None,
+            shard: None,
         }
     }
 
@@ -101,6 +230,62 @@ impl CampaignRunner {
     /// Whether trials fork from cached fault-free prefixes.
     pub const fn checkpointing(&self) -> bool {
         self.checkpointing
+    }
+
+    /// Attaches a metrics registry: campaign/cache/settle metrics are
+    /// recorded into it during execution. Trial results are
+    /// bit-identical with or without telemetry — observation never
+    /// influences the run (the same contract as trace capture).
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Arc<telemetry::Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn telemetry(&self) -> Option<&Arc<telemetry::Registry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Enables live progress (TTY status line and/or JSONL stream).
+    #[must_use]
+    pub fn with_progress(mut self, options: ProgressOptions) -> Self {
+        self.progress = Some(options);
+        self
+    }
+
+    /// Restricts execution to one deterministic slice of the trial
+    /// grid: shard `index` of `count` (1-based, as in `--shard k/n`)
+    /// keeps exactly the ⟨error, case⟩ pairs whose canonical pair
+    /// index `ei · cases + ci` is `≡ index − 1 (mod count)`. The
+    /// slices partition the grid, so `count` shard reports (or
+    /// journals, via [`crate::journal::merge`]) combine into exactly
+    /// the unsharded result.
+    ///
+    /// # Panics
+    ///
+    /// When `index` is not in `1..=count`.
+    #[must_use]
+    pub fn with_shard(mut self, index: usize, count: usize) -> Self {
+        assert!(
+            (1..=count).contains(&index),
+            "shard index {index} out of range 1..={count}"
+        );
+        self.shard = Some(ShardSpec { index, count });
+        self
+    }
+
+    /// The grid slice this runner executes, if sharded.
+    pub const fn shard(&self) -> Option<ShardSpec> {
+        self.shard
+    }
+
+    /// Whether a canonical pair index belongs to this runner's shard.
+    fn in_shard(&self, pair_index: usize) -> bool {
+        match self.shard {
+            Some(s) => pair_index % s.count == s.index - 1,
+            None => true,
+        }
     }
 
     /// The protocol in use.
@@ -273,6 +458,17 @@ impl CampaignRunner {
                         .to_owned(),
                 ));
             }
+            if journal.header.shard != self.shard {
+                let describe = |s: Option<ShardSpec>| {
+                    s.map_or_else(|| "unsharded".to_owned(), |s| format!("shard {s}"))
+                };
+                return Err(JournalError::Mismatch(format!(
+                    "journal is {} but this run is {} — resume with the \
+                     same --shard, or combine shards with merge_journals",
+                    describe(journal.header.shard),
+                    describe(self.shard),
+                )));
+            }
             for record in &journal.records {
                 if record.campaign != kind {
                     continue;
@@ -295,19 +491,25 @@ impl CampaignRunner {
                 }
             }
         }
-        let writer = JournalWriter::append_to(path, &self.protocol)?;
+        let mut writer = JournalWriter::append_to_sharded(path, &self.protocol, self.shard)?;
+        if let Some(registry) = &self.telemetry {
+            writer = writer.with_telemetry(crate::journal::JournalTelemetry::register(registry));
+        }
         let pending: Vec<(usize, usize)> = (0..by_number.len())
             .flat_map(|ei| (0..cases).map(move |ci| (ei, ci)))
+            .filter(|&(ei, ci)| self.in_shard(ei * cases + ci))
             .filter(|key| !done.contains(key))
             .collect();
         Ok((pending, writer))
     }
 
-    /// Every ⟨error index, case index⟩ pair of a fresh campaign.
+    /// Every ⟨error index, case index⟩ pair of a fresh campaign (the
+    /// runner's shard of them, when sharded).
     fn all_pairs(&self, error_count: usize) -> Vec<(usize, usize)> {
         let cases = self.protocol.cases_per_error();
         (0..error_count)
             .flat_map(|ei| (0..cases).map(move |ci| (ei, ci)))
+            .filter(|&(ei, ci)| self.in_shard(ei * cases + ci))
             .collect()
     }
 
@@ -338,6 +540,43 @@ impl CampaignRunner {
             pending.sort_unstable_by_key(|&(ei, ci)| (ci, ei));
         }
         let cache = self.checkpointing.then(|| Arc::new(CheckpointCache::new()));
+
+        let tel = self.telemetry.as_ref().map(CampaignTelemetry::register);
+        if let Some(t) = &tel {
+            t.registry.gauge("campaign.workers").set(workers as u64);
+        }
+        let latency_hist = tel.as_ref().map(|t| {
+            t.registry.histogram(
+                &format!("campaign.{}.detection_latency_ms", kind.label()),
+                &telemetry::latency_bounds_ms(),
+            )
+        });
+        let mut progress = match &self.progress {
+            Some(options) => {
+                let stream = match &options.stream_path {
+                    Some(path) => Some(telemetry::Progress::open_stream(path)?),
+                    None => None,
+                };
+                let every = if options.stream_every == 0 {
+                    64
+                } else {
+                    options.stream_every
+                };
+                let mut p =
+                    telemetry::Progress::new(kind.label(), pending.len() as u64, stream, every)
+                        .with_tty(options.live);
+                if let Some(t) = &tel {
+                    p = p.with_counters(
+                        Arc::clone(&t.cache_hits),
+                        Arc::clone(&t.cache_misses),
+                        Arc::clone(&t.trials_settled),
+                    );
+                }
+                Some(p)
+            }
+            None => None,
+        };
+
         let (work_tx, work_rx) = channel::unbounded::<(usize, usize)>();
         for &pair in &pending {
             work_tx.send(pair).expect("queue is open");
@@ -347,26 +586,52 @@ impl CampaignRunner {
 
         let mut journal_error: Option<io::Error> = None;
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 let work_rx = work_rx.clone();
                 let result_tx = result_tx.clone();
                 let cases = &cases;
                 let protocol = &self.protocol;
                 let cache = cache.clone();
+                let tel = tel.clone();
                 scope.spawn(move || {
-                    while let Ok((ei, ci)) = work_rx.recv() {
+                    let worker_trials = tel
+                        .as_ref()
+                        .map(|t| t.registry.counter(&format!("campaign.worker.{w}.trials")));
+                    loop {
+                        let waiting = tel.as_ref().map(|_| Instant::now());
+                        let Ok((ei, ci)) = work_rx.recv() else { break };
+                        if let (Some(t), Some(started)) = (&tel, waiting) {
+                            let micros =
+                                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            t.queue_wait_us.record(micros);
+                        }
                         let trial = match &cache {
                             Some(cache) => {
-                                let prefix = cache.prefix(protocol, ci, cases[ci]);
-                                run_trial_checkpointed(
+                                let prefix =
+                                    cache.prefix_observed(protocol, ci, cases[ci], tel.as_ref());
+                                let (trial, execution) = run_trial_checkpointed_observed(
                                     protocol,
                                     errors[ei].flip(),
                                     cases[ci],
                                     &prefix,
-                                )
+                                );
+                                if let Some(t) = &tel {
+                                    t.observe_execution(&execution);
+                                }
+                                trial
                             }
-                            None => run_trial(protocol, errors[ei].flip(), cases[ci]),
+                            None => {
+                                let trial = run_trial(protocol, errors[ei].flip(), cases[ci]);
+                                if let Some(t) = &tel {
+                                    t.trials_full_window.inc();
+                                    t.window_ms_simulated.add(protocol.observation_ms);
+                                }
+                                trial
+                            }
                         };
+                        if let Some(c) = &worker_trials {
+                            c.inc();
+                        }
                         result_tx
                             .send((ei, ci, trial))
                             .expect("collector outlives workers");
@@ -378,6 +643,17 @@ impl CampaignRunner {
             while let Ok((ei, ci, trial)) = result_rx.recv() {
                 let error = &errors[ei];
                 record(report, error, &trial);
+                if let Some(t) = &tel {
+                    t.trials.inc();
+                }
+                if let Some(hist) = &latency_hist {
+                    if let Some(latency) = trial.latency_ms(arrestor::EaSet::ALL) {
+                        hist.record(latency);
+                    }
+                }
+                if let Some(p) = &mut progress {
+                    p.on_trial();
+                }
                 if let Some(writer) = journal.as_deref_mut() {
                     if let Err(e) = writer.append(kind, error.number(), ci, &trial) {
                         // Remember the first failure, stop journaling,
@@ -389,6 +665,9 @@ impl CampaignRunner {
                 }
             }
         });
+        if let Some(p) = &mut progress {
+            p.finish();
+        }
 
         match journal_error {
             Some(e) => Err(e),

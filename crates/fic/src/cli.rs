@@ -28,11 +28,21 @@
 //! * `--no-checkpoint` — disable checkpointed trial execution (prefix
 //!   forking and steady-state fast-forward) and replay every trial from
 //!   t = 0. Results are bit-identical either way; this is the slow
-//!   cross-check and benchmark baseline.
+//!   cross-check and benchmark baseline;
+//! * `--shard k/n` — run only shard `k` of `n` (1-based) of the trial
+//!   grid: a deterministic slice recorded in the journal header.
+//!   Combine shard journals with `merge_journals`;
+//! * `--telemetry-jsonl <file>` — append periodic machine-readable
+//!   progress snapshots (one JSON object per line) to `file`;
+//! * `--no-telemetry` — disable the metrics registry, the live
+//!   progress line and the end-of-campaign telemetry report.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
+use crate::campaign::{CampaignRunner, ProgressOptions};
 use crate::protocol::Protocol;
+use crate::telemetry;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -66,6 +76,13 @@ pub struct CliOptions {
     /// Replay every trial from t = 0 instead of forking cached
     /// fault-free prefixes.
     pub no_checkpoint: bool,
+    /// Run only this deterministic slice of the trial grid:
+    /// `(index, count)`, 1-based, from `--shard k/n`.
+    pub shard: Option<(usize, usize)>,
+    /// Append machine-readable progress snapshots to this JSONL file.
+    pub telemetry_jsonl: Option<PathBuf>,
+    /// Disable telemetry collection, progress and reports entirely.
+    pub no_telemetry: bool,
 }
 
 impl Default for CliOptions {
@@ -85,6 +102,9 @@ impl Default for CliOptions {
             trace: false,
             repro_dir: PathBuf::from("results/repro"),
             no_checkpoint: false,
+            shard: None,
+            telemetry_jsonl: None,
+            no_telemetry: false,
         }
     }
 }
@@ -101,7 +121,8 @@ impl CliOptions {
                     "usage: [--scale n] [--observation ms] [--workers n] [--out dir] \
                      [--load file] [--journal file] [--resume] [--from-journal file] \
                      [--check-golden] [--refresh-golden] [--golden-dir dir] \
-                     [--trace] [--repro-dir dir] [--no-checkpoint]"
+                     [--trace] [--repro-dir dir] [--no-checkpoint] [--shard k/n] \
+                     [--telemetry-jsonl file] [--no-telemetry]"
                 );
                 std::process::exit(2);
             }
@@ -157,11 +178,19 @@ impl CliOptions {
                 "--trace" => options.trace = true,
                 "--repro-dir" => options.repro_dir = PathBuf::from(value("--repro-dir")?),
                 "--no-checkpoint" => options.no_checkpoint = true,
+                "--shard" => options.shard = Some(parse_shard(&value("--shard")?)?),
+                "--telemetry-jsonl" => {
+                    options.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")?));
+                }
+                "--no-telemetry" => options.no_telemetry = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
         if options.resume && options.journal.is_none() {
             return Err("--resume needs --journal <file>".to_owned());
+        }
+        if options.no_telemetry && options.telemetry_jsonl.is_some() {
+            return Err("--no-telemetry contradicts --telemetry-jsonl".to_owned());
         }
         if options.from_journal.is_some() && (options.journal.is_some() || options.resume) {
             return Err("--from-journal replays a finished journal; it cannot be \
@@ -185,6 +214,71 @@ impl CliOptions {
         }
         protocol
     }
+
+    /// A fresh metrics registry, or `None` under `--no-telemetry`.
+    pub fn registry(&self) -> Option<Arc<telemetry::Registry>> {
+        (!self.no_telemetry).then(|| Arc::new(telemetry::Registry::new()))
+    }
+
+    /// A campaign runner configured from these options: checkpointing,
+    /// shard slice, and (when `registry` is given) metrics plus live
+    /// progress with the optional `--telemetry-jsonl` stream.
+    pub fn runner(&self, registry: Option<&Arc<telemetry::Registry>>) -> CampaignRunner {
+        let mut runner =
+            CampaignRunner::new(self.protocol()).with_checkpointing(!self.no_checkpoint);
+        if let Some((index, count)) = self.shard {
+            runner = runner.with_shard(index, count);
+        }
+        if let Some(registry) = registry {
+            runner = runner
+                .with_telemetry(Arc::clone(registry))
+                .with_progress(ProgressOptions {
+                    live: true,
+                    stream_path: self.telemetry_jsonl.clone(),
+                    stream_every: 0,
+                });
+        }
+        runner
+    }
+
+    /// End-of-campaign telemetry emission: prints the human summary on
+    /// stderr and writes the schema-versioned report under
+    /// `<out>/telemetry/` (labelled by `producer`, with the shard
+    /// suffixed so parallel shard runs never clobber each other).
+    pub fn emit_telemetry(&self, producer: &str, registry: &telemetry::Registry) {
+        let snapshot = registry.snapshot();
+        eprint!("{}", telemetry::render_summary(&snapshot));
+        let run =
+            telemetry::RunMetadata::for_run(&self.protocol(), !self.no_checkpoint, self.shard);
+        let report = telemetry::TelemetryReport::assemble(producer, run, snapshot);
+        let label = match self.shard {
+            Some((index, count)) => format!("{producer}-shard-{index}-of-{count}"),
+            None => producer.to_owned(),
+        };
+        match telemetry::write_report(&self.out_dir.join("telemetry"), &label, &report) {
+            Ok(path) => eprintln!("telemetry report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write telemetry report: {e}"),
+        }
+    }
+}
+
+/// Parses a `k/n` shard spec (1-based, `1 ≤ k ≤ n`).
+fn parse_shard(spec: &str) -> Result<(usize, usize), String> {
+    let (index, count) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("--shard: `{spec}` is not of the form k/n"))?;
+    let index: usize = index
+        .parse()
+        .map_err(|e| format!("--shard index `{index}`: {e}"))?;
+    let count: usize = count
+        .parse()
+        .map_err(|e| format!("--shard count `{count}`: {e}"))?;
+    if count == 0 || index == 0 || index > count {
+        return Err(format!(
+            "--shard: index must satisfy 1 ≤ k ≤ n, got {index}/{count}"
+        ));
+    }
+    Ok((index, count))
 }
 
 #[cfg(test)]
@@ -267,6 +361,38 @@ mod tests {
             CliOptions::parse(&args(&["--from-journal", "x.jsonl", "--refresh-golden"])).unwrap();
         assert_eq!(options.from_journal, Some(PathBuf::from("x.jsonl")));
         assert!(options.refresh_golden);
+    }
+
+    #[test]
+    fn parses_shard_and_telemetry_flags() {
+        let options = CliOptions::parse(&args(&[
+            "--shard",
+            "2/4",
+            "--telemetry-jsonl",
+            "/tmp/progress.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(options.shard, Some((2, 4)));
+        assert_eq!(
+            options.telemetry_jsonl,
+            Some(PathBuf::from("/tmp/progress.jsonl"))
+        );
+        assert!(!options.no_telemetry);
+        let options = CliOptions::parse(&args(&["--no-telemetry"])).unwrap();
+        assert!(options.no_telemetry);
+    }
+
+    #[test]
+    fn rejects_bad_shards() {
+        for bad in ["0/4", "5/4", "2", "a/b", "1/0", "/3"] {
+            assert!(
+                CliOptions::parse(&args(&["--shard", bad])).is_err(),
+                "accepted --shard {bad}"
+            );
+        }
+        assert!(
+            CliOptions::parse(&args(&["--no-telemetry", "--telemetry-jsonl", "x.jsonl"])).is_err()
+        );
     }
 
     #[test]

@@ -62,6 +62,27 @@ pub fn run_trial_traced(
     (trial, trace.expect("tracing was enabled"))
 }
 
+/// How a checkpointed trial actually executed — the execution-shape
+/// facts the campaign telemetry aggregates. Separate from [`Trial`]
+/// on purpose: results are result-bearing artefacts, execution shape
+/// is observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialExecution {
+    /// Simulation time at which the settle detector stopped the run,
+    /// ms; `None` when the trial ran its full observation window.
+    pub settle_stop_ms: Option<u64>,
+    /// What proved the early stop sound.
+    pub settle_proof: Option<arrestor::SettleProof>,
+    /// Fingerprint captures the detector took.
+    pub settle_captures: u64,
+    /// Milliseconds of window actually simulated by this call
+    /// (excludes the forked prefix).
+    pub simulated_ms: u64,
+    /// Milliseconds of window skipped (prefix fork + settle
+    /// fast-forward).
+    pub skipped_ms: u64,
+}
+
 /// [`run_trial`] resumed from a fault-free prefix [`arrestor::Snapshot`]
 /// instead of replaying the prefix from t = 0, with steady-state
 /// fast-forward: once the [`arrestor::SettleDetector`] proves the run's
@@ -82,14 +103,29 @@ pub fn run_trial_checkpointed(
     case: TestCase,
     prefix: &arrestor::Snapshot,
 ) -> Trial {
+    run_trial_checkpointed_observed(protocol, flip, case, prefix).0
+}
+
+/// [`run_trial_checkpointed`] plus the [`TrialExecution`] shape the
+/// telemetry layer records. The [`Trial`] is the same either way —
+/// observing execution never influences it.
+pub fn run_trial_checkpointed_observed(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+) -> (Trial, TrialExecution) {
     debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
     let mut system = prefix.resume();
+    let resumed_at = system.time_ms();
     let period = protocol.injection_period_ms.max(1);
     let mut settle = arrestor::SettleDetector::new(&system, Some(flip), period);
 
+    let mut settle_stop_ms = None;
     while system.time_ms() < protocol.observation_ms {
         let t = system.time_ms();
         if settle.check(&system) {
+            settle_stop_ms = Some(t);
             break;
         }
         if t > 0 && t.is_multiple_of(period) {
@@ -98,7 +134,15 @@ pub fn run_trial_checkpointed(
         system.tick();
     }
 
-    finish_trial(system, period).0
+    let stopped_at = system.time_ms();
+    let execution = TrialExecution {
+        settle_stop_ms,
+        settle_proof: settle.proof(),
+        settle_captures: settle.captures(),
+        simulated_ms: stopped_at - resumed_at,
+        skipped_ms: resumed_at + protocol.observation_ms.saturating_sub(stopped_at),
+    };
+    (finish_trial(system, period).0, execution)
 }
 
 /// Simulates the fault-free prefix of a trial — everything strictly

@@ -34,6 +34,7 @@ use crate::error_set;
 use crate::experiment::Trial;
 use crate::protocol::Protocol;
 use crate::results::{E1Report, E2Report};
+use crate::telemetry;
 
 /// Journal format version written into every header.
 pub const FORMAT_VERSION: u32 = 1;
@@ -51,6 +52,37 @@ pub enum CampaignKind {
     E2,
 }
 
+impl CampaignKind {
+    /// Lowercase phase label used in telemetry metric names and
+    /// progress events (`e1`, `e2`).
+    pub const fn label(self) -> &'static str {
+        match self {
+            CampaignKind::E1 => "e1",
+            CampaignKind::E2 => "e2",
+        }
+    }
+}
+
+/// Which deterministic slice of the trial grid a sharded campaign ran
+/// (`--shard k/n`): shard `index` of `count`, 1-based.
+///
+/// Recorded in the journal header so shard journals are
+/// self-describing and [`merge`] can verify it is combining distinct
+/// slices of the same grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// 1-based shard index (`k` in `k/n`).
+    pub index: usize,
+    /// Total shard count (`n` in `k/n`).
+    pub count: usize,
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// First line of every journal file.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JournalHeader {
@@ -58,6 +90,10 @@ pub struct JournalHeader {
     pub format_version: u32,
     /// The protocol every journaled trial was run under.
     pub protocol: Protocol,
+    /// The grid slice this journal covers; `None` for an unsharded
+    /// campaign (and for journals written before sharding existed —
+    /// the field deserialises to `None` when absent).
+    pub shard: Option<ShardSpec>,
 }
 
 /// One completed trial: the deterministic key plus the full outcome.
@@ -114,6 +150,32 @@ impl From<io::Error> for JournalError {
     }
 }
 
+/// Telemetry handles for one [`JournalWriter`]: flush latency, batch
+/// sizes and bytes written. Built from a
+/// [`telemetry::Registry`]; absent handles cost nothing (the same
+/// zero-cost contract as the rest of the telemetry layer).
+#[derive(Debug)]
+pub struct JournalTelemetry {
+    flush_latency_us: std::sync::Arc<telemetry::Histogram>,
+    batch_records: std::sync::Arc<telemetry::Histogram>,
+    bytes_written: std::sync::Arc<telemetry::Counter>,
+    appends: std::sync::Arc<telemetry::Counter>,
+}
+
+impl JournalTelemetry {
+    /// Registers the journal metric family in `registry`.
+    pub fn register(registry: &telemetry::Registry) -> Self {
+        JournalTelemetry {
+            flush_latency_us: registry
+                .histogram("journal.flush_latency_us", &telemetry::span_bounds_us()),
+            batch_records: registry
+                .histogram("journal.batch_records", &telemetry::small_count_bounds()),
+            bytes_written: registry.counter("journal.bytes_written"),
+            appends: registry.counter("journal.appends"),
+        }
+    }
+}
+
 /// Streams completed trials to an append-only JSONL file with batched
 /// `fsync`.
 #[derive(Debug)]
@@ -122,6 +184,7 @@ pub struct JournalWriter {
     buffer: String,
     unsynced: usize,
     batch_size: usize,
+    telemetry: Option<JournalTelemetry>,
 }
 
 impl JournalWriter {
@@ -132,6 +195,20 @@ impl JournalWriter {
     ///
     /// Any filesystem failure.
     pub fn create(path: &Path, protocol: &Protocol) -> io::Result<Self> {
+        Self::create_sharded(path, protocol, None)
+    }
+
+    /// [`JournalWriter::create`] for a sharded campaign: the header
+    /// records which grid slice this journal covers.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn create_sharded(
+        path: &Path,
+        protocol: &Protocol,
+        shard: Option<ShardSpec>,
+    ) -> io::Result<Self> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -147,10 +224,12 @@ impl JournalWriter {
             buffer: String::new(),
             unsynced: 0,
             batch_size: DEFAULT_BATCH_SIZE,
+            telemetry: None,
         };
         let header = JournalHeader {
             format_version: FORMAT_VERSION,
             protocol: protocol.clone(),
+            shard,
         };
         let line = serde_json::to_string(&header).expect("header serialises");
         writer.buffer.push_str(&line);
@@ -169,11 +248,26 @@ impl JournalWriter {
     ///
     /// Any filesystem failure.
     pub fn append_to(path: &Path, protocol: &Protocol) -> io::Result<Self> {
+        Self::append_to_sharded(path, protocol, None)
+    }
+
+    /// [`JournalWriter::append_to`] for a sharded campaign (the shard
+    /// is only written when the file is created fresh; an existing
+    /// header is left untouched).
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn append_to_sharded(
+        path: &Path,
+        protocol: &Protocol,
+        shard: Option<ShardSpec>,
+    ) -> io::Result<Self> {
         let exists = std::fs::metadata(path)
             .map(|m| m.len() > 0)
             .unwrap_or(false);
         if !exists {
-            return Self::create(path, protocol);
+            return Self::create_sharded(path, protocol, shard);
         }
         let content = std::fs::read(path)?;
         if let Some(pos) = content.iter().rposition(|&b| b == b'\n') {
@@ -189,12 +283,20 @@ impl JournalWriter {
             buffer: String::new(),
             unsynced: 0,
             batch_size: DEFAULT_BATCH_SIZE,
+            telemetry: None,
         })
     }
 
     /// Sets the records-per-`fsync` batch size (min 1).
     pub fn batch_size(mut self, records: usize) -> Self {
         self.batch_size = records.max(1);
+        self
+    }
+
+    /// Attaches telemetry handles (flush latency, batch sizes, bytes).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: JournalTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -221,6 +323,9 @@ impl JournalWriter {
         self.buffer.push_str(&line);
         self.buffer.push('\n');
         self.unsynced += 1;
+        if let Some(t) = &self.telemetry {
+            t.appends.inc();
+        }
         if self.unsynced >= self.batch_size {
             self.sync()?;
         }
@@ -233,12 +338,18 @@ impl JournalWriter {
     ///
     /// Any filesystem failure.
     pub fn sync(&mut self) -> io::Result<()> {
+        let span = self.telemetry.as_ref().map(|t| {
+            t.batch_records.record(self.unsynced as u64);
+            t.bytes_written.add(self.buffer.len() as u64);
+            telemetry::SpanTimer::start(std::sync::Arc::clone(&t.flush_latency_us))
+        });
         if !self.buffer.is_empty() {
             self.file.write_all(self.buffer.as_bytes())?;
             self.buffer.clear();
         }
         self.file.sync_data()?;
         self.unsynced = 0;
+        drop(span);
         Ok(())
     }
 
@@ -383,6 +494,109 @@ impl Journal {
         }
         Ok((e1_report, e2_report))
     }
+
+    /// Writes this journal (header plus records) to `path` as a fresh
+    /// file — the inverse of [`Journal::load`].
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&serde_json::to_string(&self.header).expect("header serialises"));
+        out.push('\n');
+        for record in &self.records {
+            out.push_str(&serde_json::to_string(record).expect("record serialises"));
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+}
+
+/// Merges shard journals (`--shard k/n` runs) into one journal
+/// covering the union of their trials — the second half of the
+/// ROADMAP "campaign sharding" item: fan the grid out across jobs,
+/// then combine the journals and rebuild the tables with
+/// `--from-journal`.
+///
+/// Requirements checked:
+///
+/// * every journal's protocol is compatible with the first's
+///   (injection timing, window, grid);
+/// * no two journals claim the same shard of the same count (distinct
+///   slices — merging a shard with itself is almost certainly a
+///   pipeline mistake; duplicate ⟨campaign, error, case⟩ keys are
+///   still deduplicated first-wins, so re-merging a merged journal
+///   stays idempotent).
+///
+/// The merged header carries `shard: None` (it covers the whole
+/// recorded slice union).
+///
+/// # Errors
+///
+/// Load failures of any input, or a protocol/shard mismatch.
+pub fn merge(paths: &[std::path::PathBuf]) -> Result<Journal, JournalError> {
+    let Some((first_path, rest)) = paths.split_first() else {
+        return Err(JournalError::Mismatch(
+            "merge needs at least one journal".to_owned(),
+        ));
+    };
+    let first = Journal::load(first_path)?;
+    let mut seen_shards: Vec<ShardSpec> = first.header.shard.into_iter().collect();
+    let mut truncated_tail = first.truncated_tail;
+    let mut records = first.records;
+    let mut keys: std::collections::HashSet<(CampaignKind, usize, usize)> = records
+        .iter()
+        .map(|r| (r.campaign, r.error_number, r.case_index))
+        .collect();
+    records.retain({
+        // Dedup the first journal itself (first occurrence wins), with
+        // the same key set the later journals are checked against.
+        let mut kept = std::collections::HashSet::new();
+        move |r| kept.insert((r.campaign, r.error_number, r.case_index))
+    });
+    for path in rest {
+        let journal = Journal::load(path)?;
+        if !journal
+            .header
+            .protocol
+            .compatible_with(&first.header.protocol)
+        {
+            return Err(JournalError::Mismatch(format!(
+                "{} was recorded under a different protocol",
+                path.display()
+            )));
+        }
+        if let Some(shard) = journal.header.shard {
+            if seen_shards.contains(&shard) {
+                return Err(JournalError::Mismatch(format!(
+                    "{} duplicates shard {shard}",
+                    path.display()
+                )));
+            }
+            seen_shards.push(shard);
+        }
+        truncated_tail |= journal.truncated_tail;
+        for record in journal.records {
+            if keys.insert((record.campaign, record.error_number, record.case_index)) {
+                records.push(record);
+            }
+        }
+    }
+    Ok(Journal {
+        header: JournalHeader {
+            format_version: FORMAT_VERSION,
+            protocol: first.header.protocol,
+            shard: None,
+        },
+        records,
+        truncated_tail,
+    })
 }
 
 // HashSet key needs Hash; CampaignKind is a two-variant field-less enum.

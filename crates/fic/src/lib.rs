@@ -57,14 +57,15 @@ pub mod protocol;
 pub mod recovery_study;
 pub mod results;
 pub mod tables;
+pub mod telemetry;
 pub mod trace;
 
-pub use campaign::{CampaignRunner, CheckpointCache};
+pub use campaign::{CampaignRunner, CampaignTelemetry, CheckpointCache, ProgressOptions};
 pub use error_set::{E1Error, E2Error};
 pub use experiment::{
     fault_free_prefix, run_trial, run_trial_checkpointed, run_trial_traced, Trial,
 };
-pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, TrialRecord};
+pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec, TrialRecord};
 pub use protocol::Protocol;
 pub use results::{E1Report, E2Report, SignalRow};
 pub use trace::{ReferenceCache, ReproBundle, SignalDivergence, TraceDiff};

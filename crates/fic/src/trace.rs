@@ -35,6 +35,7 @@ use simenv::TestCase;
 
 use crate::experiment::Trial;
 use crate::protocol::Protocol;
+use crate::telemetry;
 
 /// One signal's first departure from the reference trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -151,6 +152,9 @@ pub fn record_reference(protocol: &Protocol, case: TestCase) -> Trace {
 pub struct ReferenceCache {
     protocol: Protocol,
     cache: Mutex<HashMap<(u64, u64), Arc<Trace>>>,
+    hits: Option<Arc<telemetry::Counter>>,
+    misses: Option<Arc<telemetry::Counter>>,
+    record_us: Option<Arc<telemetry::Histogram>>,
 }
 
 impl ReferenceCache {
@@ -159,7 +163,22 @@ impl ReferenceCache {
         ReferenceCache {
             protocol,
             cache: Mutex::new(HashMap::new()),
+            hits: None,
+            misses: None,
+            record_us: None,
         }
+    }
+
+    /// Attaches telemetry: memo hits and misses are counted under
+    /// `trace.reference.cache.{hits,misses}` and reference recording
+    /// time under `trace.reference.record_us`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &telemetry::Registry) -> Self {
+        self.hits = Some(registry.counter("trace.reference.cache.hits"));
+        self.misses = Some(registry.counter("trace.reference.cache.misses"));
+        self.record_us =
+            Some(registry.histogram("trace.reference.record_us", &telemetry::span_bounds_us()));
+        self
     }
 
     /// The protocol the references are recorded under.
@@ -171,11 +190,22 @@ impl ReferenceCache {
     pub fn get(&self, case: TestCase) -> Arc<Trace> {
         let key = (case.mass_kg.to_bits(), case.velocity_ms.to_bits());
         if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            if let Some(c) = &self.hits {
+                c.inc();
+            }
             return Arc::clone(hit);
+        }
+        if let Some(c) = &self.misses {
+            c.inc();
         }
         // Record outside the lock: a miss costs a full fault-free run
         // and must not serialise other cases behind it.
+        let span = self
+            .record_us
+            .as_ref()
+            .map(|h| telemetry::SpanTimer::start(Arc::clone(h)));
         let trace = Arc::new(record_reference(&self.protocol, case));
+        drop(span);
         Arc::clone(
             self.cache
                 .lock()
@@ -194,6 +224,31 @@ impl ReferenceCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Records one diffed trial's divergence-to-detection interval into
+/// `registry` (histogram `trace.divergence_to_detection_ms`): first
+/// divergence of any recorded signal → first detection by any
+/// mechanism. The trace oracle bounds detection latency from below
+/// (`first_divergence ≤ first_detection`), so the distribution of this
+/// interval cross-checks the Table 8–9 latency distributions
+/// independently of the assertion log. Returns the interval when the
+/// trial both diverged and was detected.
+pub fn record_divergence_to_detection(
+    registry: &telemetry::Registry,
+    divergence: &TraceDiff,
+    trial: &Trial,
+) -> Option<u64> {
+    let diverged = divergence.first_divergence_ms()?;
+    let detected = trial.first_detection(arrestor::EaSet::ALL)?;
+    let interval = detected.saturating_sub(diverged);
+    registry
+        .histogram(
+            "trace.divergence_to_detection_ms",
+            &telemetry::latency_bounds_ms(),
+        )
+        .record(interval);
+    Some(interval)
 }
 
 /// Schema version of [`ReproBundle`] files.
