@@ -82,9 +82,24 @@
 //! plant's `time_ms` (bookkeeping, never fed back).
 //!
 //! The detector disables itself — falling back to full-window
-//! execution — whenever a run records state that an early stop would
-//! truncate (tracing or readout capture enabled) or mutates state
-//! non-translation-covariantly (recovery write-back).
+//! execution — whenever a run records state that an early stop could
+//! not reproduce: per-tick tracing, or recovery write-back (which
+//! mutates state non-translation-covariantly). Periodic readout
+//! capture (`record_every_ms != 0`) is *not* such a case: the readout
+//! samples are [`simenv::PlantState`] rows, and every `PlantState`
+//! field except `time_ms` is inside the invariant projection, so a
+//! proven recurrence at distance `d` makes the plant-state sequence
+//! `d`-periodic from the match onward. The detector then folds the
+//! sample grid into its alignment period (`d` becomes a multiple of
+//! `record_every_ms`), reports the distance via
+//! [`SettleDetector::recurrence_ms`], and the caller reconstructs the
+//! remaining samples by replaying the last `d / record_every_ms`
+//! captured rows with patched timestamps
+//! ([`System::backfill_readout`]). The [`SettleProof::FrozenHung`]
+//! shortcut is skipped in readout mode: a hung node over an arrested
+//! plant has frozen *outputs*, but its plant pressures may still be
+//! decaying toward the frozen valve commands, so sample constancy is
+//! only proven by the byte-exact recurrence rules.
 //!
 //! Captures only start once the failure monitor has seen an arrested
 //! plant: while the aircraft still rolls, `distance_m` strictly
@@ -207,11 +222,18 @@ pub struct SettleDetector {
     mscnt_modulus: u32,
     flip_hits_prev_mscnt: bool,
     flip_hits_sys_mode: bool,
+    /// Readout decimation of the run, ms; 0 when no capture. When
+    /// non-zero the FrozenHung shortcut is unsound (see module docs)
+    /// and the alignment period absorbs the sample grid.
+    readout_every_ms: u64,
     /// Fingerprints taken so far (telemetry: fingerprinting cost).
     captures: u64,
     /// What proved the run settled, once [`SettleDetector::check`]
     /// has returned `true`.
     proof: Option<SettleProof>,
+    /// Distance of the proven recurrence, ms (`None` while live or
+    /// when the proof carries no distance, i.e. FrozenHung).
+    recurrence_ms: Option<u64>,
 }
 
 /// One aligned state capture: an invariant byte projection (prefixed
@@ -220,6 +242,9 @@ pub struct SettleDetector {
 #[derive(Debug)]
 struct Fingerprint {
     hash: u64,
+    /// Capture time, ms — the recurrence distance is the difference of
+    /// two capture times.
+    at_ms: u64,
     bytes: Vec<u8>,
     kernel: KernelState,
     mscnt: u16,
@@ -235,12 +260,15 @@ impl SettleDetector {
     /// A detector for a run of `system`, injected with `flip` (None
     /// for a fault-free run) every `injection_period_ms`.
     ///
-    /// The detector starts disabled when the run records per-tick or
-    /// periodic state (trace, readout) or repairs signals in place
-    /// (recovery write-back): early exit would change those outputs.
+    /// The detector starts disabled when the run records per-tick
+    /// state (trace) or repairs signals in place (recovery
+    /// write-back): early exit would change those outputs. Periodic
+    /// readout capture stays enabled — the sample grid is folded into
+    /// the alignment period and settled runs reconstruct their
+    /// remaining samples (see module docs).
     pub fn new(system: &System, flip: Option<BitFlip>, injection_period_ms: u64) -> Self {
         let config = system.config();
-        let disabled = config.trace || config.record_every_ms != 0 || config.recovery.is_some();
+        let disabled = config.trace || config.recovery.is_some();
         let sig = system.master().signals();
         let locals = system.master().calc_locals();
         let mscnt_addr = sig.mscnt.addr();
@@ -259,7 +287,13 @@ impl SettleDetector {
             }
             _ => 1,
         };
-        let period_ms = lcm(u64::from(slot::COUNT), injection_period_ms.max(1));
+        // Fold the readout grid into the alignment so every recurrence
+        // distance is a whole number of sample periods.
+        let readout_every_ms = config.record_every_ms;
+        let period_ms = lcm(
+            lcm(u64::from(slot::COUNT), injection_period_ms.max(1)),
+            readout_every_ms.max(1),
+        );
         SettleDetector {
             next_check_ms: if disabled { u64::MAX } else { 0 },
             period_ms,
@@ -277,8 +311,10 @@ impl SettleDetector {
             flip_hits_sys_mode: flip
                 .as_ref()
                 .is_some_and(|f| in_cell(Region::AppRam, sys_mode_addr, f)),
+            readout_every_ms,
             captures: 0,
             proof: None,
+            recurrence_ms: None,
         }
     }
 
@@ -292,6 +328,17 @@ impl SettleDetector {
     /// run is still live.
     pub const fn proof(&self) -> Option<SettleProof> {
         self.proof
+    }
+
+    /// Distance `d` of the proven recurrence, ms: the state at the stop
+    /// instant `t` recurs from `t − d`, so the run is `d`-periodic from
+    /// `t` onward. `None` while the run is live or when the proof was
+    /// [`SettleProof::FrozenHung`] (which carries no distance; that
+    /// shortcut is skipped when readout capture is active). When
+    /// readout capture is active, `d` is always a multiple of the
+    /// sample period.
+    pub const fn recurrence_ms(&self) -> Option<u64> {
+        self.recurrence_ms
     }
 
     /// Observes the system at the top of a tick-loop iteration (before
@@ -310,8 +357,12 @@ impl SettleDetector {
         // module (or assertion) will ever run again and the failure
         // accumulators cannot move. Checking only at stride points
         // delays the exit by under one stride of a frozen system,
-        // which cannot change any output.
-        if system.master().hung() && system.failmon().arrested() {
+        // which cannot change any output. With readout capture active
+        // this shortcut is unsound — the plant pressures may still be
+        // decaying toward the frozen valve commands, changing future
+        // samples — so sample constancy must come from the byte-exact
+        // recurrence rules below.
+        if self.readout_every_ms == 0 && system.master().hung() && system.failmon().arrested() {
             self.proof = Some(SettleProof::FrozenHung);
             return true;
         }
@@ -327,8 +378,13 @@ impl SettleDetector {
         }
         let current = self.capture(system);
         self.captures += 1;
-        if let Some(proof) = self.ring.iter().find_map(|old| self.matches(&current, old)) {
+        if let Some((proof, from_ms)) = self
+            .ring
+            .iter()
+            .find_map(|old| self.matches(&current, old).map(|p| (p, old.at_ms)))
+        {
             self.proof = Some(proof);
+            self.recurrence_ms = Some(t - from_ms);
             return true;
         }
         if self.ring.len() == RING {
@@ -412,6 +468,7 @@ impl SettleDetector {
         let ea6_index = crate::detectors::EaId::Ea6.index();
         Fingerprint {
             hash: fnv1a(&bytes),
+            at_ms: system.time_ms(),
             bytes,
             kernel: master.kernel().clone(),
             mscnt: sig.mscnt.read(ram),
@@ -636,7 +693,7 @@ mod tests {
     }
 
     #[test]
-    fn detector_disables_itself_for_recorded_runs() {
+    fn detector_disables_itself_for_traced_runs() {
         let config = RunConfig {
             trace: true,
             ..RunConfig::default()
@@ -650,9 +707,71 @@ mod tests {
     }
 
     #[test]
-    fn alignment_period_covers_slots_and_injections() {
+    fn readout_run_settles_and_reconstructs_exact_samples() {
+        let config = RunConfig {
+            record_every_ms: 100,
+            ..RunConfig::default()
+        };
+        let case = TestCase::new(12_000.0, 55.0);
+        let mut system = System::new(case, config.clone());
+        let mut detector = SettleDetector::new(&system, None, 20);
+        let mut settled = None;
+        while system.time_ms() < config.observation_ms {
+            if detector.check(&system) {
+                settled = Some(system.time_ms());
+                break;
+            }
+            system.tick();
+        }
+        let t = settled.expect("a nominal readout run settles inside the window");
+        let d = detector
+            .recurrence_ms()
+            .expect("readout-mode proofs carry a distance");
+        assert!(d > 0 && d.is_multiple_of(100), "distance {d} off-grid");
+        // lcm(slot cycle, injection period, sample grid) alignment.
+        assert!(t.is_multiple_of(lcm(lcm(7, 20), 100)));
+
+        system.backfill_readout(d, config.observation_ms);
+        let early = system.finish();
+        let full = System::new(case, config).run_to_completion();
+        assert_eq!(early.readout.samples().len(), full.readout.samples().len());
+        for (a, b) in early.readout.samples().iter().zip(full.readout.samples()) {
+            assert_eq!(a.time_ms, b.time_ms);
+            assert_eq!(a.distance_m.to_bits(), b.distance_m.to_bits());
+            assert_eq!(a.velocity_ms.to_bits(), b.velocity_ms.to_bits());
+            assert_eq!(
+                a.pressure_master_bar.to_bits(),
+                b.pressure_master_bar.to_bits()
+            );
+            assert_eq!(
+                a.pressure_slave_bar.to_bits(),
+                b.pressure_slave_bar.to_bits()
+            );
+            assert_eq!(a.arrested, b.arrested);
+        }
+        assert_eq!(early.detections, full.detections);
+        assert_eq!(
+            early.verdict.final_distance_m.to_bits(),
+            full.verdict.final_distance_m.to_bits()
+        );
+    }
+
+    #[test]
+    fn alignment_period_covers_slots_injections_and_readout() {
         assert_eq!(lcm(7, 20), 140);
         assert_eq!(lcm(7, 7), 7);
         assert_eq!(gcd(12, 18), 6);
+        // With a 100 ms readout the alignment absorbs the sample grid.
+        let config = RunConfig {
+            record_every_ms: 100,
+            ..RunConfig::default()
+        };
+        let system = System::new(TestCase::new(12_000.0, 55.0), config);
+        let detector = SettleDetector::new(&system, None, 20);
+        assert_eq!(detector.period_ms, 700);
+        assert!(
+            detector.next_check_ms < u64::MAX,
+            "readout must not disable"
+        );
     }
 }

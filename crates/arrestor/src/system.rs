@@ -159,6 +159,21 @@ impl System {
         self.master.inject(flip);
     }
 
+    /// Reconstructs the periodic readout samples a settled run would
+    /// have captured up to `until_ms`, by replaying the last
+    /// `recurrence_ms / record_every_ms` samples cyclically with
+    /// patched timestamps.
+    ///
+    /// Sound only after a [`crate::checkpoint::SettleDetector`] proof:
+    /// `recurrence_ms` must be the distance returned by
+    /// [`crate::checkpoint::SettleDetector::recurrence_ms`] for *this*
+    /// system at its current instant, which makes the plant-state
+    /// sequence exactly periodic from here on. A no-op when readout
+    /// capture is disabled.
+    pub fn backfill_readout(&mut self, recurrence_ms: u64, until_ms: u64) {
+        self.readout.extend_periodic(recurrence_ms, until_ms);
+    }
+
     /// Advances the whole system by one millisecond.
     pub fn tick(&mut self) {
         self.time_ms += 1;

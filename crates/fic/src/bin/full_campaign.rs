@@ -36,6 +36,15 @@
 //! Scale-out: `--shard k/n` runs only the k-th of n deterministic grid
 //! slices; shard journals are combined with the `merge_journals`
 //! binary and rendered with `--from-journal`.
+//!
+//! Attribution: `--attribution` additionally records one
+//! assertion-level event per trial (first-firing assertion, signal
+//! class, latency split), appends the events to the journal when one
+//! is attached, and writes the aggregate report with the empirical
+//! coverage decomposition under `<out>/attribution/` (see
+//! OBSERVABILITY.md). Like telemetry, it never changes a result bit.
+//! With `--from-journal` the events are re-derived from the journaled
+//! trials instead.
 
 use std::time::Instant;
 
@@ -64,6 +73,26 @@ fn main() {
             e1.trials(),
             e2.trials()
         );
+        if options.attribution {
+            let aggregate = fic::attribution::aggregate_journal(&journal)
+                .expect("journal matches the paper error sets");
+            eprint!("{}", fic::attribution::render_league(&aggregate));
+            let run = fic::telemetry::RunMetadata::for_run(&journal.header.protocol, true, None);
+            let report =
+                fic::attribution::AttributionReport::assemble("full_campaign", run, aggregate);
+            eprint!(
+                "{}",
+                fic::attribution::render_decomposition(&report.decomposition)
+            );
+            match fic::attribution::write_report(
+                &options.out_dir.join("attribution"),
+                "full_campaign",
+                &report,
+            ) {
+                Ok(path) => eprintln!("attribution report written to {}", path.display()),
+                Err(e) => eprintln!("failed to write attribution report: {e}"),
+            }
+        }
         (journal.header.protocol, e1, e2)
     } else {
         let protocol = options.protocol();
@@ -155,6 +184,9 @@ fn main() {
 
         if let Some(registry) = &registry {
             options.emit_telemetry("full_campaign", registry);
+        }
+        if let Some(sink) = runner.attribution() {
+            options.emit_attribution("full_campaign", sink);
         }
         (protocol, e1_report, e2_report)
     };

@@ -1,0 +1,110 @@
+//! Merges per-shard telemetry reports (`results/telemetry/*.json`)
+//! into one fleet view — the observability side of campaign sharding:
+//! `merge_journals` combines the trials, `merge_telemetry` combines
+//! the metrics recorded while producing them.
+//!
+//! ```text
+//! merge_telemetry <out.json> <in.json> [<in.json>...]
+//! ```
+//!
+//! Every input must be a valid campaign-telemetry report of the pinned
+//! schema version; snapshots merge with
+//! [`fic::telemetry::TelemetrySnapshot::merge`] (counters add, gauges
+//! max, histograms bucket-wise — associative and commutative, so input
+//! order is irrelevant). The merged report keeps the first input's run
+//! metadata with the shard cleared, and is itself re-validated before
+//! being written.
+//!
+//! Note that a merged report's checkpoint-cache counters no longer obey
+//! the fresh-single-run ground truth (`misses = Σ distinct cases`):
+//! each shard misses its own cases once. `telemetry_check --shards n`
+//! knows the sharded ground truth; plain `--report` schema validation
+//! always applies.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fic::telemetry::{TelemetryReport, TelemetrySnapshot};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 || args.iter().any(|a| a.starts_with("--")) {
+        eprintln!("usage: merge_telemetry <out.json> <in.json> [<in.json>...]");
+        return ExitCode::from(2);
+    }
+    let out_path = PathBuf::from(&args[0]);
+    let inputs: Vec<PathBuf> = args[1..].iter().map(PathBuf::from).collect();
+    if inputs
+        .iter()
+        .any(|p| p.canonicalize().ok() == out_path.canonicalize().ok() && out_path.exists())
+    {
+        eprintln!("refusing to merge {} into itself", out_path.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut merged: Option<TelemetryReport> = None;
+    let mut snapshot = TelemetrySnapshot::default();
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let report: TelemetryReport = match serde_json::from_str(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!(
+                    "{} does not parse as a telemetry report: {e}",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = report.validate() {
+            eprintln!("{} is not a valid report: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "merging {} (producer {}, shard {})",
+            path.display(),
+            report.producer,
+            report.run.shard.as_deref().unwrap_or("-")
+        );
+        snapshot.merge(&report.snapshot);
+        merged.get_or_insert(report);
+    }
+    let Some(first) = merged else {
+        eprintln!("no inputs merged");
+        return ExitCode::FAILURE;
+    };
+
+    let mut run = first.run;
+    run.shard = None; // the merged view covers the union of the shards
+    let producer = format!("merge_telemetry({})", first.producer);
+    let report = TelemetryReport::assemble(&producer, run, snapshot);
+    if let Err(e) = report.validate() {
+        eprintln!("merged report failed validation: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let stem = out_path.file_stem().map_or_else(
+        || "telemetry".to_owned(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    let target = out_path
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+        .map_or_else(|| PathBuf::from("."), std::path::Path::to_path_buf);
+    match fic::telemetry::write_report(&target, &stem, &report) {
+        Ok(path) => {
+            eprintln!("merged {} report(s) into {}", inputs.len(), path.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", out_path.display());
+            ExitCode::FAILURE
+        }
+    }
+}

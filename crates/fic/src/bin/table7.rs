@@ -38,9 +38,13 @@ fn main() {
             protocol.observation_ms
         );
         let registry = options.registry();
-        let report = options.runner(registry.as_ref()).run_e1(&errors);
+        let runner = options.runner(registry.as_ref());
+        let report = runner.run_e1(&errors);
         if let Some(registry) = &registry {
             options.emit_telemetry("table7", registry);
+        }
+        if let Some(sink) = runner.attribution() {
+            options.emit_attribution("table7", sink);
         }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         let path = options.out_dir.join("e1.json");

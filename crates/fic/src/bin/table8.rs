@@ -31,9 +31,13 @@ fn main() {
             protocol.cases_per_error()
         );
         let registry = options.registry();
-        let report = options.runner(registry.as_ref()).run_e1(&errors);
+        let runner = options.runner(registry.as_ref());
+        let report = runner.run_e1(&errors);
         if let Some(registry) = &registry {
             options.emit_telemetry("table8", registry);
+        }
+        if let Some(sink) = runner.attribution() {
+            options.emit_attribution("table8", sink);
         }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         std::fs::write(

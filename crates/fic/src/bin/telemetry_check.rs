@@ -14,6 +14,19 @@
 //!   `misses = Σ distinct cases` and `hits = records − misses`. (A
 //!   resumed run re-misses already-journaled cases; this check is for
 //!   fresh runs, which is what CI produces.)
+//! * `--shards <n>` — the report (and journal) came from `n` shard
+//!   runs merged together (`merge_telemetry` / `merge_journals`). Each
+//!   shard execution had its own checkpoint cache, so the ground truth
+//!   becomes `misses = Σ over shards of distinct cases in that shard's
+//!   slice`, recomputed from the canonical pair index
+//!   `(error − 1) · cases + case`.
+//! * `--attribution <file>` — parse a `results/attribution/*.json`
+//!   report, run its structural validation
+//!   ([`fic::attribution::AttributionReport::validate`]) and the
+//!   coverage-algebra cross-check
+//!   ([`fic::attribution::check_algebra`]); with `--journal`, also
+//!   verify the report's aggregate is exactly what the journal
+//!   re-derives (attribution must be a pure function of the trials).
 //!
 //! Exits 0 when every requested check passes, 1 otherwise.
 
@@ -21,11 +34,15 @@ use std::collections::HashSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fic::attribution::{self, AttributionReport};
 use fic::journal::Journal;
 use fic::telemetry::{ProgressEvent, TelemetryReport, SCHEMA_VERSION};
 
 fn usage() -> ! {
-    eprintln!("usage: telemetry_check [--report file] [--jsonl file] [--journal file]");
+    eprintln!(
+        "usage: telemetry_check [--report file] [--jsonl file] [--journal file] \
+         [--shards n] [--attribution file]"
+    );
     std::process::exit(2);
 }
 
@@ -33,6 +50,8 @@ fn main() -> ExitCode {
     let mut report_path: Option<PathBuf> = None;
     let mut jsonl_path: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
+    let mut attribution_path: Option<PathBuf> = None;
+    let mut shards = 1usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -46,14 +65,25 @@ fn main() -> ExitCode {
             "--report" => report_path = Some(PathBuf::from(value("--report"))),
             "--jsonl" => jsonl_path = Some(PathBuf::from(value("--jsonl"))),
             "--journal" => journal_path = Some(PathBuf::from(value("--journal"))),
+            "--attribution" => attribution_path = Some(PathBuf::from(value("--attribution"))),
+            "--shards" => {
+                shards = value("--shards").parse().unwrap_or_else(|e| {
+                    eprintln!("--shards: {e}");
+                    usage();
+                });
+                if shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    usage();
+                }
+            }
             _ => usage(),
         }
     }
-    if report_path.is_none() && jsonl_path.is_none() {
+    if report_path.is_none() && jsonl_path.is_none() && attribution_path.is_none() {
         usage();
     }
-    if journal_path.is_some() && report_path.is_none() {
-        eprintln!("--journal cross-checks a report; it needs --report");
+    if journal_path.is_some() && report_path.is_none() && attribution_path.is_none() {
+        eprintln!("--journal cross-checks a report; it needs --report or --attribution");
         return ExitCode::from(2);
     }
 
@@ -94,14 +124,58 @@ fn main() -> ExitCode {
     }
 
     if let (Some(report), Some(path)) = (&report, &journal_path) {
-        match check_cache_counters(report, path) {
+        match check_cache_counters(report, path, shards) {
             Ok((hits, misses)) => println!(
-                "journal {}: cache counters match ({hits} hits, {misses} misses)",
+                "journal {}: cache counters match ({hits} hits, {misses} misses, {shards} shard(s))",
                 path.display()
             ),
             Err(e) => {
                 eprintln!("journal {}: MISMATCH: {e}", path.display());
                 failures += 1;
+            }
+        }
+    }
+
+    if let Some(path) = &attribution_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report: AttributionReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!(
+                "{} does not parse as an attribution report: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        match report.validate() {
+            Ok(()) => println!("attribution {}: schema ok", path.display()),
+            Err(e) => {
+                eprintln!("attribution {}: INVALID: {e}", path.display());
+                failures += 1;
+            }
+        }
+        match attribution::check_algebra(&report.aggregate) {
+            Ok(()) => println!(
+                "attribution {}: recomposed Pdetect within the measured interval",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("attribution {}: ALGEBRA FAILED: {e}", path.display());
+                failures += 1;
+            }
+        }
+        if let Some(journal_path) = &journal_path {
+            match check_attribution_against_journal(&report, journal_path) {
+                Ok(events) => println!(
+                    "attribution {}: aggregate re-derives exactly from {} journaled event(s)",
+                    path.display(),
+                    events
+                ),
+                Err(e) => {
+                    eprintln!("attribution {}: JOURNAL MISMATCH: {e}", path.display());
+                    failures += 1;
+                }
             }
         }
     }
@@ -168,23 +242,33 @@ fn check_jsonl(path: &std::path::Path) -> Result<usize, String> {
 }
 
 /// The report's checkpoint-cache hit/miss counters equal the values a
-/// fresh run's journal implies.
+/// fresh run's journal implies. With `shards > 1` the journal is a
+/// merge of that many shard runs, each with its own cache: misses
+/// accumulate per ⟨campaign, shard⟩ slice of the records, recomputed
+/// from the canonical pair index `(error − 1) · cases + case` (the
+/// same formula `CampaignRunner::with_shard` slices by).
 fn check_cache_counters(
     report: &TelemetryReport,
     path: &std::path::Path,
+    shards: usize,
 ) -> Result<(u64, u64), String> {
     let journal = Journal::load(path).map_err(|e| e.to_string())?;
-    // The cache is created per campaign execution, so E1 and E2 each
-    // miss once per distinct case they actually ran.
+    let cases_per_error = journal.header.protocol.cases_per_error();
     let mut expected_misses = 0u64;
     for kind in [fic::CampaignKind::E1, fic::CampaignKind::E2] {
-        let cases: HashSet<usize> = journal
-            .records
-            .iter()
-            .filter(|r| r.campaign == kind)
-            .map(|r| r.case_index)
-            .collect();
-        expected_misses += cases.len() as u64;
+        for shard in 0..shards {
+            let cases: HashSet<usize> = journal
+                .records
+                .iter()
+                .filter(|r| r.campaign == kind)
+                .filter(|r| {
+                    let pair = (r.error_number - 1) * cases_per_error + r.case_index;
+                    pair % shards == shard
+                })
+                .map(|r| r.case_index)
+                .collect();
+            expected_misses += cases.len() as u64;
+        }
     }
     let expected_hits = journal.records.len() as u64 - expected_misses;
     let hits = report.snapshot.counter("campaign.checkpoint.cache.hits");
@@ -196,4 +280,30 @@ fn check_cache_counters(
         ));
     }
     Ok((hits, misses))
+}
+
+/// The attribution report's aggregate equals what the journal's trial
+/// records re-derive — attribution events are a pure function of the
+/// trials, so any difference means the report and journal are not from
+/// the same campaign (or one of them was tampered with). Oracle
+/// verdicts persisted in the journal overlay the derived events, so an
+/// enriched journal still matches a report produced alongside it only
+/// if the report saw the same enrichment; CI pairs fresh artefacts.
+fn check_attribution_against_journal(
+    report: &AttributionReport,
+    path: &std::path::Path,
+) -> Result<usize, String> {
+    let journal = Journal::load(path).map_err(|e| e.to_string())?;
+    let derived = attribution::aggregate_journal(&journal).map_err(|e| e.to_string())?;
+    if derived != report.aggregate {
+        return Err(format!(
+            "journal re-derives {} E1 + {} E2 events but the report aggregates \
+             {} + {}; the aggregates differ",
+            derived.e1_trials,
+            derived.e2_trials,
+            report.aggregate.e1_trials,
+            report.aggregate.e2_trials
+        ));
+    }
+    Ok((derived.e1_trials + derived.e2_trials) as usize)
 }

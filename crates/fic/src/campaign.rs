@@ -29,6 +29,7 @@ use std::time::Instant;
 use crossbeam::channel;
 use simenv::TestCase;
 
+use crate::attribution::{AttributionAggregate, AttributionEvent, MonitoredMap};
 use crate::error_set::{E1Error, E2Error};
 use crate::experiment::{
     fault_free_prefix, run_trial, run_trial_checkpointed_observed, Trial, TrialExecution,
@@ -179,6 +180,44 @@ impl CampaignTelemetry {
     }
 }
 
+/// Collects [`AttributionEvent`]s from the campaign collector into an
+/// [`AttributionAggregate`]. The fold is associative and commutative,
+/// so the aggregate is independent of worker count and completion
+/// order; the sink is shared (`Arc`) between the runner and the caller
+/// that reads the result.
+///
+/// Attribution is observation-only: events are derived *after* a trial
+/// completes, from data the collector already holds, so enabling the
+/// sink cannot perturb a single bit of any report (pinned by
+/// `tests/attribution.rs`).
+#[derive(Debug, Default)]
+pub struct AttributionSink {
+    aggregate: Mutex<AttributionAggregate>,
+}
+
+impl AttributionSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in.
+    pub fn record(&self, event: &AttributionEvent) {
+        self.aggregate
+            .lock()
+            .expect("no panics while holding lock")
+            .record(event);
+    }
+
+    /// A copy of the aggregate folded so far.
+    pub fn snapshot(&self) -> AttributionAggregate {
+        self.aggregate
+            .lock()
+            .expect("no panics while holding lock")
+            .clone()
+    }
+}
+
 /// Live-progress configuration for [`CampaignRunner::with_progress`].
 #[derive(Debug, Clone, Default)]
 pub struct ProgressOptions {
@@ -200,6 +239,7 @@ pub struct CampaignRunner {
     telemetry: Option<Arc<telemetry::Registry>>,
     progress: Option<ProgressOptions>,
     shard: Option<ShardSpec>,
+    attribution: Option<Arc<AttributionSink>>,
 }
 
 impl CampaignRunner {
@@ -214,7 +254,23 @@ impl CampaignRunner {
             telemetry: None,
             progress: None,
             shard: None,
+            attribution: None,
         }
+    }
+
+    /// Enables assertion-level attribution: every completed trial also
+    /// yields an [`AttributionEvent`] folded into a shared
+    /// [`AttributionSink`] (and appended to the journal, when one is
+    /// attached). Disabled by default and zero-cost when off.
+    #[must_use]
+    pub fn with_attribution(mut self, enabled: bool) -> Self {
+        self.attribution = enabled.then(|| Arc::new(AttributionSink::new()));
+        self
+    }
+
+    /// The attribution sink, when enabled.
+    pub fn attribution(&self) -> Option<&Arc<AttributionSink>> {
+        self.attribution.as_ref()
     }
 
     /// Enables or disables checkpointed trial execution (prefix
@@ -391,10 +447,18 @@ impl CampaignRunner {
             .enumerate()
             .map(|(i, e)| (e.number, i))
             .collect();
-        let (pending, mut journal) =
-            self.replay_into(path, CampaignKind::E1, &by_number, |idx, trial| {
+        let attribution = self.attribution_fold();
+        let (pending, mut journal) = self.replay_into(
+            path,
+            CampaignKind::E1,
+            &by_number,
+            |idx, case_index, trial| {
                 report.record(&errors[idx], trial);
-            })?;
+                if let Some((sink, map)) = &attribution {
+                    sink.record(&errors[idx].attribution_event(case_index, trial, map));
+                }
+            },
+        )?;
         self.execute(
             errors,
             &pending,
@@ -420,10 +484,18 @@ impl CampaignRunner {
             .enumerate()
             .map(|(i, e)| (e.number, i))
             .collect();
-        let (pending, mut journal) =
-            self.replay_into(path, CampaignKind::E2, &by_number, |idx, trial| {
+        let attribution = self.attribution_fold();
+        let (pending, mut journal) = self.replay_into(
+            path,
+            CampaignKind::E2,
+            &by_number,
+            |idx, case_index, trial| {
                 report.record(&errors[idx], trial);
-            })?;
+                if let Some((sink, map)) = &attribution {
+                    sink.record(&errors[idx].attribution_event(case_index, trial, map));
+                }
+            },
+        )?;
         self.execute(
             errors,
             &pending,
@@ -445,7 +517,7 @@ impl CampaignRunner {
         path: &Path,
         kind: CampaignKind,
         by_number: &HashMap<usize, usize>,
-        mut replay: impl FnMut(usize, &Trial),
+        mut replay: impl FnMut(usize, usize, &Trial),
     ) -> Result<(Vec<(usize, usize)>, JournalWriter), JournalError> {
         let cases = self.protocol.cases_per_error();
         let mut done: HashSet<(usize, usize)> = HashSet::new();
@@ -487,7 +559,7 @@ impl CampaignRunner {
                     )));
                 }
                 if done.insert((idx, record.case_index)) {
-                    replay(idx, &record.trial);
+                    replay(idx, record.case_index, &record.trial);
                 }
             }
         }
@@ -501,6 +573,14 @@ impl CampaignRunner {
             .filter(|key| !done.contains(key))
             .collect();
         Ok((pending, writer))
+    }
+
+    /// The sink plus the address map event derivation needs — built
+    /// once per campaign, only when attribution is enabled.
+    fn attribution_fold(&self) -> Option<(Arc<AttributionSink>, MonitoredMap)> {
+        self.attribution
+            .as_ref()
+            .map(|sink| (Arc::clone(sink), MonitoredMap::new()))
     }
 
     /// Every ⟨error index, case index⟩ pair of a fresh campaign (the
@@ -540,6 +620,7 @@ impl CampaignRunner {
             pending.sort_unstable_by_key(|&(ei, ci)| (ci, ei));
         }
         let cache = self.checkpointing.then(|| Arc::new(CheckpointCache::new()));
+        let attribution = self.attribution_fold();
 
         let tel = self.telemetry.as_ref().map(CampaignTelemetry::register);
         if let Some(t) = &tel {
@@ -643,6 +724,11 @@ impl CampaignRunner {
             while let Ok((ei, ci, trial)) = result_rx.recv() {
                 let error = &errors[ei];
                 record(report, error, &trial);
+                let event = attribution.as_ref().map(|(sink, map)| {
+                    let event = error.attribution_event(ci, &trial, map);
+                    sink.record(&event);
+                    event
+                });
                 if let Some(t) = &tel {
                     t.trials.inc();
                 }
@@ -655,7 +741,13 @@ impl CampaignRunner {
                     p.on_trial();
                 }
                 if let Some(writer) = journal.as_deref_mut() {
-                    if let Err(e) = writer.append(kind, error.number(), ci, &trial) {
+                    let appended = writer
+                        .append(kind, error.number(), ci, &trial)
+                        .and_then(|()| match &event {
+                            Some(event) => writer.append_attribution(event),
+                            None => Ok(()),
+                        });
+                    if let Err(e) = appended {
                         // Remember the first failure, stop journaling,
                         // but keep collecting so the report stays whole
                         // and the workers can drain.
@@ -683,6 +775,15 @@ pub trait InjectableError {
     fn flip(&self) -> memsim::BitFlip;
     /// The paper's 1-based error number.
     fn number(&self) -> usize;
+    /// The attribution event for one completed trial of this error
+    /// (`map` locates monitored signals; E1 errors carry their target
+    /// directly and ignore it).
+    fn attribution_event(
+        &self,
+        case_index: usize,
+        trial: &Trial,
+        map: &MonitoredMap,
+    ) -> AttributionEvent;
 }
 
 impl InjectableError for E1Error {
@@ -692,6 +793,14 @@ impl InjectableError for E1Error {
     fn number(&self) -> usize {
         self.number
     }
+    fn attribution_event(
+        &self,
+        case_index: usize,
+        trial: &Trial,
+        _map: &MonitoredMap,
+    ) -> AttributionEvent {
+        AttributionEvent::for_e1(self, case_index, trial)
+    }
 }
 
 impl InjectableError for E2Error {
@@ -700,6 +809,14 @@ impl InjectableError for E2Error {
     }
     fn number(&self) -> usize {
         self.number
+    }
+    fn attribution_event(
+        &self,
+        case_index: usize,
+        trial: &Trial,
+        map: &MonitoredMap,
+    ) -> AttributionEvent {
+        AttributionEvent::for_e2(self, case_index, trial, map)
     }
 }
 

@@ -35,12 +35,19 @@
 //! * `--telemetry-jsonl <file>` — append periodic machine-readable
 //!   progress snapshots (one JSON object per line) to `file`;
 //! * `--no-telemetry` — disable the metrics registry, the live
-//!   progress line and the end-of-campaign telemetry report.
+//!   progress line and the end-of-campaign telemetry report;
+//! * `--attribution` — record one assertion-level attribution event
+//!   per trial (first-firing assertion, signal class, latency split),
+//!   fold them into `<out>/attribution/<producer>.json`, and append
+//!   them to the journal when one is attached;
+//! * `--no-attribution` — explicitly disable attribution (the
+//!   default; the pair of flags exists so scripts can be explicit).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use crate::campaign::{CampaignRunner, ProgressOptions};
+use crate::attribution;
+use crate::campaign::{AttributionSink, CampaignRunner, ProgressOptions};
 use crate::protocol::Protocol;
 use crate::telemetry;
 
@@ -83,6 +90,9 @@ pub struct CliOptions {
     pub telemetry_jsonl: Option<PathBuf>,
     /// Disable telemetry collection, progress and reports entirely.
     pub no_telemetry: bool,
+    /// Record assertion-level attribution events and write the
+    /// aggregate report under `<out>/attribution/`.
+    pub attribution: bool,
 }
 
 impl Default for CliOptions {
@@ -105,6 +115,7 @@ impl Default for CliOptions {
             shard: None,
             telemetry_jsonl: None,
             no_telemetry: false,
+            attribution: false,
         }
     }
 }
@@ -122,7 +133,8 @@ impl CliOptions {
                      [--load file] [--journal file] [--resume] [--from-journal file] \
                      [--check-golden] [--refresh-golden] [--golden-dir dir] \
                      [--trace] [--repro-dir dir] [--no-checkpoint] [--shard k/n] \
-                     [--telemetry-jsonl file] [--no-telemetry]"
+                     [--telemetry-jsonl file] [--no-telemetry] \
+                     [--attribution] [--no-attribution]"
                 );
                 std::process::exit(2);
             }
@@ -136,6 +148,7 @@ impl CliOptions {
     /// A human-readable message naming the offending flag or value.
     pub fn parse(args: &[String]) -> Result<Self, String> {
         let mut options = CliOptions::default();
+        let mut no_attribution = false;
         let mut iter = args.iter();
         while let Some(flag) = iter.next() {
             let mut value = |name: &str| {
@@ -183,6 +196,8 @@ impl CliOptions {
                     options.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")?));
                 }
                 "--no-telemetry" => options.no_telemetry = true,
+                "--attribution" => options.attribution = true,
+                "--no-attribution" => no_attribution = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -196,6 +211,12 @@ impl CliOptions {
             return Err("--from-journal replays a finished journal; it cannot be \
                  combined with --journal/--resume"
                 .to_owned());
+        }
+        if options.attribution && no_attribution {
+            return Err("--attribution contradicts --no-attribution".to_owned());
+        }
+        if no_attribution {
+            options.attribution = false;
         }
         Ok(options)
     }
@@ -224,8 +245,9 @@ impl CliOptions {
     /// shard slice, and (when `registry` is given) metrics plus live
     /// progress with the optional `--telemetry-jsonl` stream.
     pub fn runner(&self, registry: Option<&Arc<telemetry::Registry>>) -> CampaignRunner {
-        let mut runner =
-            CampaignRunner::new(self.protocol()).with_checkpointing(!self.no_checkpoint);
+        let mut runner = CampaignRunner::new(self.protocol())
+            .with_checkpointing(!self.no_checkpoint)
+            .with_attribution(self.attribution);
         if let Some((index, count)) = self.shard {
             runner = runner.with_shard(index, count);
         }
@@ -258,6 +280,30 @@ impl CliOptions {
         match telemetry::write_report(&self.out_dir.join("telemetry"), &label, &report) {
             Ok(path) => eprintln!("telemetry report written to {}", path.display()),
             Err(e) => eprintln!("failed to write telemetry report: {e}"),
+        }
+    }
+
+    /// End-of-campaign attribution emission: prints the league table
+    /// and coverage decomposition on stderr and writes the
+    /// schema-versioned report under `<out>/attribution/` (shard
+    /// suffixed, like telemetry).
+    pub fn emit_attribution(&self, producer: &str, sink: &AttributionSink) {
+        let aggregate = sink.snapshot();
+        eprint!("{}", attribution::render_league(&aggregate));
+        let run =
+            telemetry::RunMetadata::for_run(&self.protocol(), !self.no_checkpoint, self.shard);
+        let report = attribution::AttributionReport::assemble(producer, run, aggregate);
+        eprint!(
+            "{}",
+            attribution::render_decomposition(&report.decomposition)
+        );
+        let label = match self.shard {
+            Some((index, count)) => format!("{producer}-shard-{index}-of-{count}"),
+            None => producer.to_owned(),
+        };
+        match attribution::write_report(&self.out_dir.join("attribution"), &label, &report) {
+            Ok(path) => eprintln!("attribution report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write attribution report: {e}"),
         }
     }
 }
@@ -393,6 +439,22 @@ mod tests {
         assert!(
             CliOptions::parse(&args(&["--no-telemetry", "--telemetry-jsonl", "x.jsonl"])).is_err()
         );
+    }
+
+    #[test]
+    fn parses_attribution_flags() {
+        assert!(!CliOptions::parse(&[]).unwrap().attribution);
+        assert!(
+            CliOptions::parse(&args(&["--attribution"]))
+                .unwrap()
+                .attribution
+        );
+        assert!(
+            !CliOptions::parse(&args(&["--no-attribution"]))
+                .unwrap()
+                .attribution
+        );
+        assert!(CliOptions::parse(&args(&["--attribution", "--no-attribution"])).is_err());
     }
 
     #[test]

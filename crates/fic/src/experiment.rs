@@ -62,6 +62,34 @@ pub fn run_trial_traced(
     (trial, trace.expect("tracing was enabled"))
 }
 
+/// [`run_trial`] with periodic plant readout capture every
+/// `record_every_ms` milliseconds, replayed straight through the full
+/// window (the baseline the checkpointed recorded path is checked
+/// against). The returned [`Trial`] is identical to [`run_trial`]'s.
+pub fn run_trial_recorded(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    record_every_ms: u64,
+) -> (Trial, simenv::Readout) {
+    let config = RunConfig {
+        observation_ms: protocol.observation_ms,
+        record_every_ms,
+        ..RunConfig::default()
+    };
+    let mut system = System::new(case, config);
+    let period = protocol.injection_period_ms.max(1);
+    while system.time_ms() < protocol.observation_ms {
+        let t = system.time_ms();
+        if t > 0 && t.is_multiple_of(period) {
+            system.inject(flip);
+        }
+        system.tick();
+    }
+    let (trial, outcome) = finish_outcome(system, period);
+    (trial, outcome.readout)
+}
+
 /// How a checkpointed trial actually executed — the execution-shape
 /// facts the campaign telemetry aggregates. Separate from [`Trial`]
 /// on purpose: results are result-bearing artefacts, execution shape
@@ -145,14 +173,81 @@ pub fn run_trial_checkpointed_observed(
     (finish_trial(system, period).0, execution)
 }
 
+/// [`run_trial_checkpointed`] for a readout-recording run: the prefix
+/// must come from [`fault_free_prefix_recorded`] with the same sample
+/// period. The settle detector stays enabled — its alignment absorbs
+/// the sample grid — and when it stops the run early, the missing
+/// periodic samples are reconstructed from the proven recurrence
+/// ([`arrestor::System::backfill_readout`]), so both the [`Trial`] and
+/// the returned sample series are bit-identical to
+/// [`run_trial_recorded`]'s.
+pub fn run_trial_checkpointed_recorded(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+) -> (Trial, simenv::Readout) {
+    debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
+    let mut system = prefix.resume();
+    let period = protocol.injection_period_ms.max(1);
+    let mut settle = arrestor::SettleDetector::new(&system, Some(flip), period);
+
+    while system.time_ms() < protocol.observation_ms {
+        let t = system.time_ms();
+        if settle.check(&system) {
+            let d = settle
+                .recurrence_ms()
+                .expect("readout-mode settle proofs carry a distance");
+            system.backfill_readout(d, protocol.observation_ms);
+            break;
+        }
+        if t > 0 && t.is_multiple_of(period) {
+            system.inject(flip);
+        }
+        system.tick();
+    }
+
+    let (trial, outcome) = finish_outcome(system, period);
+    (trial, outcome.readout)
+}
+
 /// Simulates the fault-free prefix of a trial — everything strictly
 /// before the first injection instant — and freezes it for forking
 /// with [`run_trial_checkpointed`].
 pub fn fault_free_prefix(protocol: &Protocol, case: TestCase) -> arrestor::Snapshot {
-    let config = RunConfig {
-        observation_ms: protocol.observation_ms,
-        ..RunConfig::default()
-    };
+    prefix_with_config(
+        protocol,
+        case,
+        RunConfig {
+            observation_ms: protocol.observation_ms,
+            ..RunConfig::default()
+        },
+    )
+}
+
+/// [`fault_free_prefix`] with readout capture enabled, for forking
+/// with [`run_trial_checkpointed_recorded`].
+pub fn fault_free_prefix_recorded(
+    protocol: &Protocol,
+    case: TestCase,
+    record_every_ms: u64,
+) -> arrestor::Snapshot {
+    prefix_with_config(
+        protocol,
+        case,
+        RunConfig {
+            observation_ms: protocol.observation_ms,
+            record_every_ms,
+            ..RunConfig::default()
+        },
+    )
+}
+
+fn prefix_with_config(
+    protocol: &Protocol,
+    case: TestCase,
+    config: RunConfig,
+) -> arrestor::Snapshot {
     let mut system = System::new(case, config);
     let first_injection = protocol
         .injection_period_ms
@@ -190,6 +285,11 @@ fn run_trial_impl(
 }
 
 fn finish_trial(system: System, first_injection_ms: u64) -> (Trial, Option<arrestor::Trace>) {
+    let (trial, outcome) = finish_outcome(system, first_injection_ms);
+    (trial, outcome.trace)
+}
+
+fn finish_outcome(system: System, first_injection_ms: u64) -> (Trial, arrestor::RunOutcome) {
     let outcome = system.finish();
     let mut per_ea_first_ms: [Option<u64>; 7] = [None; 7];
     for event in &outcome.detections {
@@ -204,7 +304,7 @@ fn finish_trial(system: System, first_injection_ms: u64) -> (Trial, Option<arres
         first_injection_ms,
         final_distance_m: outcome.verdict.final_distance_m,
     };
-    (trial, outcome.trace)
+    (trial, outcome)
 }
 
 #[cfg(test)]

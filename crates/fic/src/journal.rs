@@ -8,9 +8,13 @@
 //!
 //! * line 1 is a [`JournalHeader`] recording the format version and the
 //!   [`Protocol`] the trials were run under;
-//! * every other line is a [`TrialRecord`] keyed by
+//! * every other line is either a [`TrialRecord`] keyed by
 //!   ⟨campaign, error number, case index⟩ — deterministic identifiers
-//!   that do not depend on worker count or completion order.
+//!   that do not depend on worker count or completion order — or an
+//!   attribution line (`{"attribution": …}`) carrying one
+//!   [`AttributionEvent`] under the same key space. The two line types
+//!   are structurally disjoint, so no tagging byte is needed and
+//!   journals without attribution parse exactly as before.
 //!
 //! Writes are batched and `fsync`'d every [`JournalWriter::batch_size`]
 //! records, so a crash loses at most one unsynced batch; the trailing
@@ -30,6 +34,7 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+use crate::attribution::AttributionEvent;
 use crate::error_set;
 use crate::experiment::Trial;
 use crate::protocol::Protocol;
@@ -107,6 +112,14 @@ pub struct TrialRecord {
     pub case_index: usize,
     /// The trial outcome.
     pub trial: Trial,
+}
+
+/// An attribution line: one enrichable detection-story event. Wrapped
+/// in a single-key object so the line type is self-describing and can
+/// never be confused with a [`TrialRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct AttributionLine {
+    attribution: AttributionEvent,
 }
 
 /// Errors raised while reading or validating a journal.
@@ -300,6 +313,30 @@ impl JournalWriter {
         self
     }
 
+    /// Appends one attribution event; flushes and syncs when the batch
+    /// fills. Events share the trial batch, so a crash loses trials and
+    /// their attribution together.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem failure while flushing a full batch.
+    pub fn append_attribution(&mut self, event: &AttributionEvent) -> io::Result<()> {
+        let line = serde_json::to_string(&AttributionLine {
+            attribution: event.clone(),
+        })
+        .expect("attribution event serialises");
+        self.buffer.push_str(&line);
+        self.buffer.push('\n');
+        self.unsynced += 1;
+        if let Some(t) = &self.telemetry {
+            t.appends.inc();
+        }
+        if self.unsynced >= self.batch_size {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
     /// Appends one completed trial; flushes and syncs when the batch
     /// fills.
     ///
@@ -382,6 +419,9 @@ pub struct Journal {
     /// Every intact record, in append order (duplicates possible after
     /// unusual crash/retry interleavings — replay helpers deduplicate).
     pub records: Vec<TrialRecord>,
+    /// Every intact attribution event, in append order (same
+    /// duplicate caveat; consumers deduplicate first-wins by key).
+    pub attribution: Vec<AttributionEvent>,
     /// Whether a partial trailing line was dropped (crash evidence).
     pub truncated_tail: bool,
 }
@@ -414,10 +454,18 @@ impl Journal {
             )));
         }
         let mut records = Vec::new();
+        let mut attribution = Vec::new();
         let mut truncated_tail = false;
         while let Some((index, line)) = lines.next() {
             match serde_json::from_str::<TrialRecord>(line) {
                 Ok(record) => records.push(record),
+                // Not a trial record — the only other record type is an
+                // attribution line (they are structurally disjoint).
+                Err(_) if serde_json::from_str::<AttributionLine>(line).is_ok() => {
+                    let parsed: AttributionLine =
+                        serde_json::from_str(line).expect("parsed a line ago");
+                    attribution.push(parsed.attribution);
+                }
                 Err(e) if lines.peek().is_none() => {
                     // Torn final line: the crash signature. Drop it;
                     // the trial will simply be re-run.
@@ -435,6 +483,7 @@ impl Journal {
         Ok(Journal {
             header,
             records,
+            attribution,
             truncated_tail,
         })
     }
@@ -514,6 +563,13 @@ impl Journal {
             out.push_str(&serde_json::to_string(record).expect("record serialises"));
             out.push('\n');
         }
+        for event in &self.attribution {
+            let line = AttributionLine {
+                attribution: event.clone(),
+            };
+            out.push_str(&serde_json::to_string(&line).expect("attribution serialises"));
+            out.push('\n');
+        }
         std::fs::write(path, out)
     }
 }
@@ -560,6 +616,13 @@ pub fn merge(paths: &[std::path::PathBuf]) -> Result<Journal, JournalError> {
         let mut kept = std::collections::HashSet::new();
         move |r| kept.insert((r.campaign, r.error_number, r.case_index))
     });
+    let mut attribution = first.attribution;
+    let mut attribution_keys: std::collections::HashSet<(CampaignKind, usize, usize)> =
+        attribution.iter().map(AttributionEvent::key).collect();
+    attribution.retain({
+        let mut kept = std::collections::HashSet::new();
+        move |e| kept.insert(e.key())
+    });
     for path in rest {
         let journal = Journal::load(path)?;
         if !journal
@@ -587,6 +650,11 @@ pub fn merge(paths: &[std::path::PathBuf]) -> Result<Journal, JournalError> {
                 records.push(record);
             }
         }
+        for event in journal.attribution {
+            if attribution_keys.insert(event.key()) {
+                attribution.push(event);
+            }
+        }
     }
     Ok(Journal {
         header: JournalHeader {
@@ -595,6 +663,7 @@ pub fn merge(paths: &[std::path::PathBuf]) -> Result<Journal, JournalError> {
             shard: None,
         },
         records,
+        attribution,
         truncated_tail,
     })
 }

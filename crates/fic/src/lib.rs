@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 pub mod calibration;
 pub mod campaign;
 pub mod cli;
@@ -60,10 +61,16 @@ pub mod tables;
 pub mod telemetry;
 pub mod trace;
 
-pub use campaign::{CampaignRunner, CampaignTelemetry, CheckpointCache, ProgressOptions};
+pub use attribution::{
+    AttributionAggregate, AttributionEvent, AttributionReport, Decomposition, MonitoredMap,
+};
+pub use campaign::{
+    AttributionSink, CampaignRunner, CampaignTelemetry, CheckpointCache, ProgressOptions,
+};
 pub use error_set::{E1Error, E2Error};
 pub use experiment::{
-    fault_free_prefix, run_trial, run_trial_checkpointed, run_trial_traced, Trial,
+    fault_free_prefix, fault_free_prefix_recorded, run_trial, run_trial_checkpointed,
+    run_trial_checkpointed_recorded, run_trial_recorded, run_trial_traced, Trial,
 };
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec, TrialRecord};
 pub use protocol::Protocol;
