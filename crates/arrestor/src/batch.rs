@@ -1,0 +1,385 @@
+//! Lockstep batched trial execution: all trials of one test case step
+//! together, sharing one fault-free reference environment.
+//!
+//! Every trial of a ⟨test case⟩ group forks from the same fault-free
+//! prefix [`Snapshot`] and differs only in one flipped memory cell, so
+//! the lanes can advance in lockstep — one observation instant at a
+//! time — instead of one trial at a time. The executor exploits a
+//! factoring of [`System::tick`]:
+//!
+//! * the **node half** ([`System::tick_nodes`]) — the 16-bit control
+//!   cycles, where the injected faults live — always runs per lane;
+//! * the **environment half** ([`System::tick_plant`]) — f64 plant
+//!   integration plus failure accumulation — is *pure in the command
+//!   history*: two systems that have issued bit-identical valve
+//!   commands since forking from a common snapshot have bit-identical
+//!   environments.
+//!
+//! So each lane starts **shared**: its environment is implied by the
+//! fault-free reference lane and never integrated. Each tick, the
+//! lane's commands are compared against the reference's; on the first
+//! divergence the lane **forks** — it adopts a copy of the reference's
+//! pre-step environment ([`System::adopt_environment`]) and integrates
+//! privately from then on. Lanes retire as the [`SettleDetector`]
+//! proves them settled or the observation window ends; the detector is
+//! only consulted at its own published due points
+//! ([`SettleDetector::next_check_ms`]), which is when a shared lane's
+//! environment is materialised for inspection.
+//!
+//! Equivalence to the scalar loop is bit-exact, not approximate: the
+//! per-lane schedule (settle check, then injection, then tick) is the
+//! scalar trial loop verbatim, skipped settle calls are exactly the
+//! calls the scalar loop makes on the detector's side-effect-free fast
+//! path, and a shared lane's implied environment equals the one the
+//! scalar trial would have integrated. The differential suite
+//! (`tests/batch_equivalence.rs`) and the lane-invariance properties
+//! (`crates/arrestor/tests/prop_batch.rs`) pin this.
+
+use memsim::BitFlip;
+
+use crate::checkpoint::{SettleDetector, SettleProof, Snapshot};
+use crate::system::System;
+
+/// The trial-loop parameters of a lockstep batch (the subset of the
+/// campaign protocol the executor needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Observation window, ms: lanes retire at this instant at the
+    /// latest.
+    pub observation_ms: u64,
+    /// Injection period, ms: every lane's flip is re-applied at each
+    /// multiple (0 is treated as 1, as in the scalar path).
+    pub injection_period_ms: u64,
+}
+
+/// One finished lane: the retired [`System`] plus the execution-shape
+/// facts the scalar path reports through `TrialExecution`.
+#[derive(Debug)]
+pub struct RetiredLane {
+    /// Index of this lane's flip in the slice passed to
+    /// [`run_lockstep`].
+    pub slot: usize,
+    /// The lane's system at retirement, ready for outcome
+    /// classification (`System::finish`).
+    pub system: System,
+    /// Simulation time at which the lanes resumed from the prefix, ms.
+    pub resumed_at_ms: u64,
+    /// Simulation time at which this lane retired, ms.
+    pub stopped_at_ms: u64,
+    /// The settle instant, when the lane retired early; `None` when it
+    /// ran out the window.
+    pub settle_stop_ms: Option<u64>,
+    /// What proved the early stop sound.
+    pub settle_proof: Option<SettleProof>,
+    /// Fingerprint captures the lane's detector took.
+    pub settle_captures: u64,
+}
+
+struct Lane {
+    slot: usize,
+    flip: BitFlip,
+    system: System,
+    settle: SettleDetector,
+    /// Environment implied by the reference lane (command histories
+    /// identical since the fork); the lane's own plant/failmon copies
+    /// are stale until adopted.
+    shared: bool,
+}
+
+/// Runs every flip in `flips` as one lockstep batch forked from
+/// `prefix`, returning the retired lanes sorted by slot.
+///
+/// Each lane's observable behaviour — detections, verdict, settle
+/// stop, capture count — is bit-identical to running its flip alone
+/// through the scalar checkpointed trial loop.
+///
+/// # Panics
+///
+/// When the prefix was built with trace capture or periodic readout
+/// enabled: shared lanes do not integrate their own environments, so
+/// per-tick recording cannot be attributed to them. (The campaign
+/// never enables either; the scalar path remains available for runs
+/// that do.)
+pub fn run_lockstep(
+    prefix: &Snapshot,
+    flips: &[BitFlip],
+    config: &BatchConfig,
+) -> Vec<RetiredLane> {
+    let mut reference = prefix.resume();
+    assert!(
+        !reference.config().trace,
+        "lockstep batching cannot record per-tick traces"
+    );
+    assert_eq!(
+        reference.config().record_every_ms,
+        0,
+        "lockstep batching cannot capture periodic readouts"
+    );
+
+    let observation_ms = config.observation_ms;
+    let period = config.injection_period_ms.max(1);
+    let resumed_at = prefix.time_ms();
+
+    let mut lanes: Vec<Lane> = flips
+        .iter()
+        .enumerate()
+        .map(|(slot, &flip)| {
+            let system = prefix.resume();
+            let settle = SettleDetector::new(&system, Some(flip), period);
+            Lane {
+                slot,
+                flip,
+                system,
+                settle,
+                shared: true,
+            }
+        })
+        .collect();
+    let mut retired: Vec<RetiredLane> = Vec::with_capacity(lanes.len());
+
+    while !lanes.is_empty() {
+        // All live lanes (and the reference, while it still runs)
+        // share one clock.
+        let t = lanes[0].system.time_ms();
+
+        // Retirement pass at observation instant t — the scalar loop's
+        // `settle.check` / window-exhaustion exit, before any
+        // injection. Retiring only touches the retired lane, so the
+        // pass order over lanes is immaterial (remove-one invariance).
+        let mut i = 0;
+        while i < lanes.len() {
+            let lane = &mut lanes[i];
+            let settled = if t < observation_ms && t >= lane.settle.next_check_ms() {
+                // The detector is due: materialise a shared lane's
+                // implied environment so the check reads the same
+                // plant and failure state the scalar run would hold.
+                if lane.shared {
+                    lane.system.adopt_environment(&reference);
+                }
+                lane.settle.check(&lane.system)
+            } else {
+                false
+            };
+            if settled || t >= observation_ms {
+                let mut lane = lanes.swap_remove(i);
+                if lane.shared && !settled {
+                    lane.system.adopt_environment(&reference);
+                }
+                retired.push(RetiredLane {
+                    slot: lane.slot,
+                    resumed_at_ms: resumed_at,
+                    stopped_at_ms: t,
+                    settle_stop_ms: settled.then_some(t),
+                    settle_proof: lane.settle.proof(),
+                    settle_captures: lane.settle.captures(),
+                    system: lane.system,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        if lanes.is_empty() {
+            break;
+        }
+
+        // Injection instant (scalar: `t > 0 && t % period == 0`). A
+        // flip only mutates the lane's own master memory, so shared
+        // lanes stay shared through it.
+        if t > 0 && t.is_multiple_of(period) {
+            for lane in &mut lanes {
+                lane.system.inject(lane.flip);
+            }
+        }
+
+        // Advance t → t+1. The reference's node half runs first so
+        // its commands gate the sharing decision, but its environment
+        // steps last: a lane that diverges *this* tick adopts the
+        // pre-step environment — the state after tick t, exactly what
+        // the scalar trial would hold entering this step.
+        if lanes.iter().any(|l| l.shared) {
+            let sensors = reference.sensors();
+            let reference_cmds = reference.tick_nodes(&sensors);
+            for lane in &mut lanes {
+                if lane.shared {
+                    let cmds = lane.system.tick_nodes(&sensors);
+                    if cmds != reference_cmds {
+                        lane.shared = false;
+                        lane.system.adopt_environment(&reference);
+                        lane.system.tick_plant(&sensors);
+                    }
+                } else {
+                    let own = lane.system.sensors();
+                    lane.system.tick_nodes(&own);
+                    lane.system.tick_plant(&own);
+                }
+            }
+            reference.tick_plant(&sensors);
+        } else {
+            // Every surviving lane is private: the reference has no
+            // reader left and stops ticking (lanes never re-share).
+            for lane in &mut lanes {
+                let own = lane.system.sensors();
+                lane.system.tick_nodes(&own);
+                lane.system.tick_plant(&own);
+            }
+        }
+    }
+
+    retired.sort_unstable_by_key(|lane| lane.slot);
+    retired
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{RunConfig, System};
+    use memsim::Region;
+    use simenv::TestCase;
+
+    fn prefix_at(case: TestCase, at_ms: u64) -> Snapshot {
+        let mut system = System::new(case, RunConfig::default());
+        while system.time_ms() < at_ms {
+            system.tick();
+        }
+        system.checkpoint()
+    }
+
+    /// The scalar checkpointed trial loop, verbatim (mirrors
+    /// `fic::experiment::run_trial_checkpointed_observed`).
+    fn scalar_lane(
+        prefix: &Snapshot,
+        flip: BitFlip,
+        config: &BatchConfig,
+    ) -> (System, Option<u64>, u64) {
+        let mut system = prefix.resume();
+        let period = config.injection_period_ms.max(1);
+        let mut settle = SettleDetector::new(&system, Some(flip), period);
+        let mut settle_stop_ms = None;
+        while system.time_ms() < config.observation_ms {
+            let t = system.time_ms();
+            if settle.check(&system) {
+                settle_stop_ms = Some(t);
+                break;
+            }
+            if t > 0 && t.is_multiple_of(period) {
+                system.inject(flip);
+            }
+            system.tick();
+        }
+        (system, settle_stop_ms, settle.captures())
+    }
+
+    #[test]
+    fn split_tick_equals_combined_tick() {
+        let case = TestCase::new(12_000.0, 55.0);
+        let mut whole = System::new(case, RunConfig::default());
+        let mut split = System::new(case, RunConfig::default());
+        for t in 0..3_000u64 {
+            if t == 500 {
+                let flip = BitFlip::new(Region::AppRam, 4, 7);
+                whole.inject(flip);
+                split.inject(flip);
+            }
+            whole.tick();
+            let sensors = split.sensors();
+            let cmds = split.tick_nodes(&sensors);
+            split.tick_plant(&sensors);
+            assert_eq!(split.valve_commands_pu(), cmds);
+            assert_eq!(whole.time_ms(), split.time_ms());
+            assert_eq!(whole.valve_commands_pu(), split.valve_commands_pu());
+            assert_eq!(
+                whole.plant_state().distance_m.to_bits(),
+                split.plant_state().distance_m.to_bits()
+            );
+            assert_eq!(
+                whole.plant_state().pressure_master_bar.to_bits(),
+                split.plant_state().pressure_master_bar.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn adopted_environment_matches_identical_history() {
+        // Two systems with identical command histories: adopting one's
+        // environment into the other must be a no-op observably.
+        let case = TestCase::new(8_000.0, 40.0);
+        let mut a = System::new(case, RunConfig::default());
+        let mut b = System::new(case, RunConfig::default());
+        for _ in 0..2_000 {
+            a.tick();
+            b.tick();
+        }
+        let before = b.plant_state();
+        b.adopt_environment(&a);
+        let after = b.plant_state();
+        assert_eq!(before.distance_m.to_bits(), after.distance_m.to_bits());
+        assert_eq!(before.velocity_ms.to_bits(), after.velocity_ms.to_bits());
+        assert_eq!(before.arrested, after.arrested);
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_lane_by_lane() {
+        let case = TestCase::new(12_000.0, 55.0);
+        let config = BatchConfig {
+            observation_ms: 4_000,
+            injection_period_ms: 20,
+        };
+        let prefix = prefix_at(case, 20);
+        // A spread of behaviours: an aggressive monitored-signal flip
+        // (commands diverge fast), a low-bit flip (often benign), a
+        // stack flip (may hang the node), and a dead cell.
+        let flips = [
+            BitFlip::new(Region::AppRam, 5, 7),
+            BitFlip::new(Region::AppRam, 8, 0),
+            BitFlip::new(Region::Stack, memsim::STACK_BYTES - 4, 0),
+            BitFlip::new(Region::Stack, 10, 3),
+        ];
+        let retired = run_lockstep(&prefix, &flips, &config);
+        assert_eq!(retired.len(), flips.len());
+        for (slot, &flip) in flips.iter().enumerate() {
+            let (scalar, scalar_stop, scalar_captures) = scalar_lane(&prefix, flip, &config);
+            let lane = &retired[slot];
+            assert_eq!(lane.slot, slot);
+            assert_eq!(lane.settle_stop_ms, scalar_stop, "flip {flip:?}");
+            assert_eq!(lane.settle_captures, scalar_captures, "flip {flip:?}");
+            assert_eq!(lane.stopped_at_ms, scalar.time_ms(), "flip {flip:?}");
+            let batched_outcome = retired[slot].system.clone().finish();
+            let scalar_outcome = scalar.finish();
+            assert_eq!(batched_outcome.verdict, scalar_outcome.verdict);
+            assert_eq!(batched_outcome.detections, scalar_outcome.detections);
+            assert_eq!(batched_outcome.duration_ms, scalar_outcome.duration_ms);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let prefix = prefix_at(TestCase::new(12_000.0, 55.0), 20);
+        let config = BatchConfig {
+            observation_ms: 1_000,
+            injection_period_ms: 20,
+        };
+        assert!(run_lockstep(&prefix, &[], &config).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "per-tick traces")]
+    fn rejects_traced_prefixes() {
+        let config = RunConfig {
+            trace: true,
+            ..RunConfig::default()
+        };
+        let mut system = System::new(TestCase::new(12_000.0, 55.0), config);
+        for _ in 0..20 {
+            system.tick();
+        }
+        let prefix = system.checkpoint();
+        run_lockstep(
+            &prefix,
+            &[BitFlip::new(Region::AppRam, 5, 7)],
+            &BatchConfig {
+                observation_ms: 1_000,
+                injection_period_ms: 20,
+            },
+        );
+    }
+}

@@ -323,6 +323,17 @@ impl SettleDetector {
         self.captures
     }
 
+    /// The next simulation instant at which [`SettleDetector::check`]
+    /// does any work. Every call before this instant takes the
+    /// side-effect-free fast path and returns `false`, so a batch
+    /// driver that skips those calls entirely (`arrestor::batch`)
+    /// observes and mutates exactly the same state as one that makes
+    /// them — the gate is what makes lazy environment sync in the
+    /// lockstep executor sound.
+    pub const fn next_check_ms(&self) -> u64 {
+        self.next_check_ms
+    }
+
     /// The argument that proved the run settled, once
     /// [`SettleDetector::check`] has returned `true`; `None` while the
     /// run is still live.

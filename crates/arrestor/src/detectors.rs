@@ -209,6 +209,7 @@ impl Detectors {
     /// module must store the repaired value back into the signal.
     /// Detection-only banks (the paper's experiment) always return
     /// `None` — the verdict still lands in the log.
+    #[inline]
     pub fn check(&mut self, ea: EaId, value: u16, at: Millis) -> Option<u16> {
         let id = self.ids[ea.index()];
         match self.bank.observe(id, i64::from(value), at) {

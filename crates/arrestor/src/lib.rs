@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod checkpoint;
 pub mod consts;
 pub mod control;
@@ -56,6 +57,7 @@ pub mod stackmodel;
 pub mod system;
 pub mod trace;
 
+pub use batch::{run_lockstep, BatchConfig, RetiredLane};
 pub use checkpoint::{SettleDetector, SettleProof, Snapshot};
 pub use detectors::{Detectors, EaId, EaSet};
 pub use instrument::{build_detectors, placement_plan};

@@ -1,17 +1,17 @@
-//! Campaign-throughput benchmark: checkpointed trial execution
-//! (fault-free-prefix forking + steady-state fast-forward) against the
-//! straight-line replay baseline.
+//! Campaign-throughput benchmark: batched lockstep execution against
+//! the scalar checkpointed path and the straight-line replay baseline.
 //!
-//! Three modes:
+//! Three invocations:
 //!
 //! * `cargo bench -p bench --bench bench_campaign` — Criterion
 //!   comparison on a reduced protocol (statistical, slow-ish);
 //! * `cargo bench -p bench --bench bench_campaign -- --json [path]` —
 //!   one timed full-E1-grid campaign (112 errors × 25 cases, 40 s
-//!   windows) per ⟨mode, worker count⟩, written as machine-readable
-//!   JSON to `path` (default: `BENCH_campaign.json` at the repo root).
-//!   This regenerates the committed perf-trajectory artefact quoted in
-//!   `PERFORMANCE.md`;
+//!   windows) per ⟨mode, worker count⟩ across all three execution
+//!   modes (`replay`, `scalar`, `batched`), written as
+//!   machine-readable JSON to `path` (default: `BENCH_campaign.json`
+//!   at the repo root). This regenerates the committed perf-trajectory
+//!   artefact quoted in `PERFORMANCE.md`;
 //! * `-- --smoke [path]` — same JSON shape on a reduced grid, for CI.
 //!
 //! Every timed campaign's report is cross-checked against the replay
@@ -36,6 +36,36 @@ fn worker_counts() -> Vec<usize> {
     counts
 }
 
+/// The three execution modes the sweep compares. `Scalar` is the
+/// checkpointed per-trial loop (the `--scalar` CLI path); `Batched` is
+/// the lockstep SoA executor (the default CLI path).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Replay,
+    Scalar,
+    Batched,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Replay, Mode::Scalar, Mode::Batched];
+
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Replay => "replay",
+            Mode::Scalar => "scalar",
+            Mode::Batched => "batched",
+        }
+    }
+
+    fn configure(self, runner: CampaignRunner) -> CampaignRunner {
+        match self {
+            Mode::Replay => runner.with_checkpointing(false),
+            Mode::Scalar => runner.with_checkpointing(true).with_batching(false),
+            Mode::Batched => runner.with_checkpointing(true).with_batching(true),
+        }
+    }
+}
+
 struct TimedRun {
     mode: &'static str,
     workers: usize,
@@ -44,18 +74,14 @@ struct TimedRun {
     report: E1Report,
 }
 
-fn timed_e1(protocol: &Protocol, errors: &[fic::E1Error], checkpointed: bool) -> TimedRun {
-    let runner = CampaignRunner::new(protocol.clone()).with_checkpointing(checkpointed);
+fn timed_e1(protocol: &Protocol, errors: &[fic::E1Error], mode: Mode) -> TimedRun {
+    let runner = mode.configure(CampaignRunner::new(protocol.clone()));
     let trials = errors.len() * protocol.cases_per_error();
     let start = Instant::now();
     let report = runner.run_e1(errors);
     let wall_s = start.elapsed().as_secs_f64();
     TimedRun {
-        mode: if checkpointed {
-            "checkpointed"
-        } else {
-            "replay"
-        },
+        mode: mode.label(),
         workers: protocol.effective_workers().max(1),
         wall_s,
         trials_per_s: trials as f64 / wall_s,
@@ -63,34 +89,56 @@ fn timed_e1(protocol: &Protocol, errors: &[fic::E1Error], checkpointed: bool) ->
     }
 }
 
+/// Per-worker-count speedup ratios between the three modes.
+struct Speedup {
+    workers: usize,
+    scalar_over_replay: f64,
+    batched_over_replay: f64,
+    batched_over_scalar: f64,
+}
+
 /// Runs the grid sweep for one protocol and returns (runs, speedups).
-/// Speedup is trials/sec checkpointed ÷ trials/sec replay at the same
-/// worker count.
-fn sweep(mut protocol: Protocol, errors: &[fic::E1Error]) -> (Vec<TimedRun>, Vec<(usize, f64)>) {
+/// Speedup is trials/sec of the faster mode ÷ trials/sec of the
+/// baseline at the same worker count.
+fn sweep(mut protocol: Protocol, errors: &[fic::E1Error]) -> (Vec<TimedRun>, Vec<Speedup>) {
     let mut runs = Vec::new();
     let mut speedups = Vec::new();
     for workers in worker_counts() {
         protocol.workers = workers;
-        eprintln!("  workers={workers}: replay...");
-        let replay = timed_e1(&protocol, errors, false);
+        let mut by_mode = Vec::new();
+        for mode in Mode::ALL {
+            eprintln!("  workers={workers}: {}...", mode.label());
+            let run = timed_e1(&protocol, errors, mode);
+            eprintln!("    {:.2} s ({:.0} trials/s)", run.wall_s, run.trials_per_s);
+            if mode != Mode::Replay {
+                assert_eq!(
+                    run.report,
+                    by_mode[0],
+                    "{} E1 report diverged from replay at {workers} workers",
+                    mode.label()
+                );
+            }
+            by_mode.push(run.report.clone());
+            runs.push(run);
+        }
+        let rate = |mode: Mode| {
+            runs.iter()
+                .rfind(|r| r.mode == mode.label() && r.workers == workers)
+                .map(|r| r.trials_per_s)
+                .unwrap()
+        };
+        let speedup = Speedup {
+            workers,
+            scalar_over_replay: rate(Mode::Scalar) / rate(Mode::Replay),
+            batched_over_replay: rate(Mode::Batched) / rate(Mode::Replay),
+            batched_over_scalar: rate(Mode::Batched) / rate(Mode::Scalar),
+        };
         eprintln!(
-            "    {:.2} s ({:.0} trials/s); checkpointed...",
-            replay.wall_s, replay.trials_per_s
+            "    speedups: scalar {:.2}x, batched {:.2}x over replay \
+             (batched/scalar {:.2}x)",
+            speedup.scalar_over_replay, speedup.batched_over_replay, speedup.batched_over_scalar
         );
-        let fast = timed_e1(&protocol, errors, true);
-        eprintln!(
-            "    {:.2} s ({:.0} trials/s); speedup {:.2}x",
-            fast.wall_s,
-            fast.trials_per_s,
-            fast.trials_per_s / replay.trials_per_s
-        );
-        assert_eq!(
-            fast.report, replay.report,
-            "checkpointed E1 report diverged from replay at {workers} workers"
-        );
-        speedups.push((workers, fast.trials_per_s / replay.trials_per_s));
-        runs.push(replay);
-        runs.push(fast);
+        speedups.push(speedup);
     }
     (runs, speedups)
 }
@@ -152,11 +200,11 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
                     Value::Array(worker_counts().into_iter().map(int).collect()),
                 ),
                 (
-                    "checkpoint_modes",
+                    "execution_modes",
                     Value::Array(
-                        ["replay", "checkpointed"]
+                        Mode::ALL
                             .into_iter()
-                            .map(|m| Value::Str(m.to_owned()))
+                            .map(|m| Value::Str(m.label().to_owned()))
                             .collect(),
                     ),
                 ),
@@ -189,7 +237,16 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
             Value::Object(
                 speedups
                     .iter()
-                    .map(|(w, s)| (format!("workers_{w}"), Value::Float(*s)))
+                    .map(|s| {
+                        (
+                            format!("workers_{}", s.workers),
+                            obj(vec![
+                                ("scalar_over_replay", Value::Float(s.scalar_over_replay)),
+                                ("batched_over_replay", Value::Float(s.batched_over_replay)),
+                                ("batched_over_scalar", Value::Float(s.batched_over_scalar)),
+                            ]),
+                        )
+                    })
                     .collect(),
             ),
         ),
@@ -214,14 +271,12 @@ fn criterion_campaign(c: &mut Criterion) {
     protocol.workers = 1;
     let mut group = c.benchmark_group("campaign");
     group.sample_size(10);
-    group.bench_function("e1_replay", |b| {
-        let runner = CampaignRunner::new(protocol.clone()).with_checkpointing(false);
-        b.iter(|| black_box(runner.run_e1(&subset)))
-    });
-    group.bench_function("e1_checkpointed", |b| {
-        let runner = CampaignRunner::new(protocol.clone());
-        b.iter(|| black_box(runner.run_e1(&subset)))
-    });
+    for mode in Mode::ALL {
+        group.bench_function(format!("e1_{}", mode.label()), |b| {
+            let runner = mode.configure(CampaignRunner::new(protocol.clone()));
+            b.iter(|| black_box(runner.run_e1(&subset)))
+        });
+    }
     group.finish();
 }
 

@@ -40,6 +40,7 @@ use crate::Sample;
 /// assert!(assert_cont::check(&params, Some(50), 75).is_err()); // too fast
 /// # Ok::<(), ea_core::Error>(())
 /// ```
+#[inline]
 pub fn check(
     params: &ContinuousParams,
     previous: Option<Sample>,

@@ -28,6 +28,7 @@ use crate::Sample;
 /// assert!(assert_disc::check(&slot, Some(3), 5).is_err()); // skipped a slot
 /// # Ok::<(), ea_core::Error>(())
 /// ```
+#[inline]
 pub fn check(
     params: &DiscreteParams,
     previous: Option<Sample>,

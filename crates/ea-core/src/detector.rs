@@ -168,6 +168,7 @@ impl DetectorBank {
     /// Returns the pass/violation verdict; when the mechanism is enabled
     /// and a violation occurs, it is appended to the detection log (the
     /// paper's "digital output pin" plus the FIC3 timestamp).
+    #[inline]
     pub fn observe(
         &mut self,
         id: MonitorId,

@@ -40,13 +40,139 @@ use crate::Sample;
 /// assert!(!params.transition_allowed(1, 3));
 /// # Ok::<(), ea_core::Error>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DiscreteParams {
     domain: BTreeSet<Sample>,
     /// `None` for random discrete signals (any transition within `D`).
     transitions: Option<BTreeMap<Sample, BTreeSet<Sample>>>,
     class: SignalClass,
+    /// Bitmask lookup tables for small domains — a pure cache over
+    /// `domain`/`transitions`, rebuilt by every constructor, by
+    /// deserialisation, and by [`Self::with_self_loops`]; excluded from
+    /// serialisation and equality. `None` for wide domains (the B-tree
+    /// path answers instead).
+    dense: Option<DenseTables>,
 }
+
+impl Serialize for DiscreteParams {
+    fn to_value(&self) -> serde::Value {
+        // Matches the derive layout (one entry per logical field) so the
+        // wire format is unchanged; the cache is not written.
+        serde::Value::Object(vec![
+            ("domain".into(), self.domain.to_value()),
+            ("transitions".into(), self.transitions.to_value()),
+            ("class".into(), self.class.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DiscreteParams {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let domain: BTreeSet<Sample> = serde::de_field(value, "domain")?;
+        let transitions: Option<BTreeMap<Sample, BTreeSet<Sample>>> =
+            serde::de_field(value, "transitions")?;
+        let class: SignalClass = serde::de_field(value, "class")?;
+        let dense = DenseTables::build(&domain, transitions.as_ref());
+        Ok(DiscreteParams {
+            domain,
+            transitions,
+            class,
+            dense,
+        })
+    }
+}
+
+/// Dense tables for domains spanning at most 64 consecutive values:
+/// `s ∈ D` and `s ∈ T(s')` become single shift-and-mask probes. The
+/// per-tick assertion checks of small state machines (mode variables,
+/// slot counters) sit on the simulator's hot path, where the B-tree
+/// probes dominate the cost of a tick.
+#[derive(Debug, Clone)]
+struct DenseTables {
+    /// Smallest domain value; bit `i` refers to sample `base + i`.
+    base: Sample,
+    /// Bit set ⇔ `base + i ∈ D`.
+    domain_mask: u64,
+    /// `masks[i]` = targets of `base + i`; `None` for random signals.
+    transition_masks: Option<Vec<u64>>,
+}
+
+impl DenseTables {
+    fn build(
+        domain: &BTreeSet<Sample>,
+        transitions: Option<&BTreeMap<Sample, BTreeSet<Sample>>>,
+    ) -> Option<DenseTables> {
+        let &base = domain.iter().next()?;
+        let &max = domain.iter().next_back()?;
+        let span = max.checked_sub(base)?;
+        if !(0..64).contains(&span) {
+            return None;
+        }
+        let mut domain_mask = 0u64;
+        for &d in domain {
+            domain_mask |= 1 << (d - base);
+        }
+        let transition_masks = transitions.map(|map| {
+            let mut masks = vec![0u64; (span + 1) as usize];
+            for (&from, targets) in map {
+                let mut mask = 0u64;
+                for &to in targets {
+                    mask |= 1 << (to - base);
+                }
+                masks[(from - base) as usize] = mask;
+            }
+            masks
+        });
+        Some(DenseTables {
+            base,
+            domain_mask,
+            transition_masks,
+        })
+    }
+
+    #[inline]
+    fn offset(&self, s: Sample) -> Option<u32> {
+        let off = s.wrapping_sub(self.base);
+        if (0..64).contains(&off) {
+            Some(off as u32)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn in_domain(&self, s: Sample) -> bool {
+        self.offset(s)
+            .is_some_and(|off| self.domain_mask >> off & 1 == 1)
+    }
+
+    #[inline]
+    fn transition_allowed(&self, previous: Sample, current: Sample) -> bool {
+        let (Some(p), Some(c)) = (self.offset(previous), self.offset(current)) else {
+            return false;
+        };
+        if self.domain_mask >> p & 1 == 0 || self.domain_mask >> c & 1 == 0 {
+            return false;
+        }
+        match &self.transition_masks {
+            None => true,
+            Some(masks) => masks[p as usize] >> c & 1 == 1,
+        }
+    }
+}
+
+impl PartialEq for DiscreteParams {
+    fn eq(&self, other: &Self) -> bool {
+        // `dense` is a cache: two parameter sets are equal iff their
+        // logical content is, regardless of whether the cache is built
+        // (it is absent on deserialised instances).
+        self.domain == other.domain
+            && self.transitions == other.transitions
+            && self.class == other.class
+    }
+}
+
+impl Eq for DiscreteParams {}
 
 impl DiscreteParams {
     /// A random discrete signal: any value in `D`, any transition.
@@ -62,10 +188,12 @@ impl DiscreteParams {
         if domain.is_empty() {
             return Err(Error::EmptyDomain);
         }
+        let dense = DenseTables::build(&domain, None);
         Ok(DiscreteParams {
             domain,
             transitions: None,
             class: SignalClass::discrete_random(),
+            dense,
         })
     }
 
@@ -97,10 +225,12 @@ impl DiscreteParams {
         if wrap {
             entry.insert(order[0]);
         }
+        let dense = DenseTables::build(&domain, Some(&transitions));
         Ok(DiscreteParams {
             domain,
             transitions: Some(transitions),
             class: SignalClass::discrete_linear(),
+            dense,
         })
     }
 
@@ -137,10 +267,12 @@ impl DiscreteParams {
                 }
             }
         }
+        let dense = DenseTables::build(&domain, Some(&transitions));
         Ok(DiscreteParams {
             domain,
             transitions: Some(transitions),
             class: SignalClass::discrete_non_linear(),
+            dense,
         })
     }
 
@@ -177,7 +309,11 @@ impl DiscreteParams {
     }
 
     /// Table 3, first assertion: `s ∈ D`.
+    #[inline]
     pub fn in_domain(&self, s: Sample) -> bool {
+        if let Some(dense) = &self.dense {
+            return dense.in_domain(s);
+        }
         self.domain.contains(&s)
     }
 
@@ -191,7 +327,11 @@ impl DiscreteParams {
     /// every scheduler tick), the strict form detects stuck-at errors.
     ///
     /// For random discrete signals any pair of domain values is allowed.
+    #[inline]
     pub fn transition_allowed(&self, previous: Sample, current: Sample) -> bool {
+        if let Some(dense) = &self.dense {
+            return dense.transition_allowed(previous, current);
+        }
         if !self.in_domain(current) || !self.in_domain(previous) {
             return false;
         }
@@ -212,6 +352,7 @@ impl DiscreteParams {
             for (d, targets) in map.iter_mut() {
                 targets.insert(*d);
             }
+            self.dense = DenseTables::build(&self.domain, self.transitions.as_ref());
         }
         self
     }
@@ -342,5 +483,54 @@ mod tests {
     fn any_valid_is_in_domain() {
         let params = figure3();
         assert!(params.in_domain(params.any_valid()));
+    }
+
+    /// The dense bitmask tables are a pure cache: serde round-trips
+    /// preserve the logical fields (and rebuild the cache), and an
+    /// instance with the cache stripped answers every query identically
+    /// through the B-tree fallback.
+    #[test]
+    fn dense_tables_agree_with_btree_fallback() {
+        let cases = [
+            figure3(),
+            figure3().with_self_loops(),
+            DiscreteParams::linear(0..7, true).unwrap(),
+            DiscreteParams::linear([10, 20, 30], false).unwrap(),
+            DiscreteParams::random([2, 4, 8]).unwrap(),
+            DiscreteParams::random([-3, 0, 100]).unwrap(),
+        ];
+        for built in cases {
+            let json = serde_json::to_string(&built).unwrap();
+            let thawed: DiscreteParams = serde_json::from_str(&json).unwrap();
+            assert_eq!(built, thawed);
+            assert_eq!(
+                built.dense.is_some(),
+                thawed.dense.is_some(),
+                "deserialisation rebuilds the cache"
+            );
+            let mut stripped = built.clone();
+            stripped.dense = None;
+            for s in -5..=105 {
+                assert_eq!(built.in_domain(s), stripped.in_domain(s), "in_domain({s})");
+                for p in -5..=105 {
+                    assert_eq!(
+                        built.transition_allowed(p, s),
+                        stripped.transition_allowed(p, s),
+                        "transition_allowed({p}, {s})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Domains spanning more than 64 values skip the dense tables but
+    /// answer identically through the B-tree path.
+    #[test]
+    fn wide_domains_fall_back_to_btrees() {
+        let params = DiscreteParams::random([0, 1, 1_000]).unwrap();
+        assert!(params.dense.is_none());
+        assert!(params.in_domain(1_000));
+        assert!(!params.in_domain(2));
+        assert!(params.transition_allowed(1, 1_000));
     }
 }

@@ -6,8 +6,6 @@
 //! discrete signals, so error detection can be applied to them too —
 //! [`ModedParams::mode_variable_params`] derives exactly that.
 
-use std::collections::BTreeMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::class::SignalClass;
@@ -42,6 +40,7 @@ impl Params {
     }
 
     /// Runs the matching executable assertion (Table 2 or Table 3).
+    #[inline]
     pub fn check(&self, previous: Option<Sample>, current: Sample) -> Result<Pass, Violation> {
         match self {
             Params::Continuous(p) => crate::assert_cont::check(p, previous, current),
@@ -87,29 +86,36 @@ impl From<DiscreteParams> for Params {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModedParams {
-    sets: BTreeMap<Mode, Params>,
+    /// Sorted by mode. A sorted vector instead of a tree map: the
+    /// common case is one or two modes, and [`ModedParams::params_for`]
+    /// sits on the per-check hot path of every executable assertion.
+    sets: Vec<(Mode, Params)>,
     initial: Mode,
 }
 
 impl ModedParams {
     /// Creates a family with one initial mode.
     pub fn new(initial: Mode, params: impl Into<Params>) -> Self {
-        let mut sets = BTreeMap::new();
-        sets.insert(initial, params.into());
-        ModedParams { sets, initial }
+        ModedParams {
+            sets: vec![(initial, params.into())],
+            initial,
+        }
     }
 
     /// Adds or replaces the parameter set for `mode`; returns `self` for
     /// chaining via [`Self::with`].
     pub fn insert(&mut self, mode: Mode, params: impl Into<Params>) -> &mut Self {
-        self.sets.insert(mode, params.into());
+        match self.sets.binary_search_by_key(&mode, |(m, _)| *m) {
+            Ok(i) => self.sets[i].1 = params.into(),
+            Err(i) => self.sets.insert(i, (mode, params.into())),
+        }
         self
     }
 
     /// Chaining variant of [`Self::insert`].
     #[must_use]
     pub fn with(mut self, mode: Mode, params: impl Into<Params>) -> Self {
-        self.sets.insert(mode, params.into());
+        self.insert(mode, params);
         self
     }
 
@@ -123,8 +129,23 @@ impl ModedParams {
     /// # Errors
     ///
     /// [`Error::UnknownMode`] when no set was registered for `mode`.
+    #[inline]
     pub fn params_for(&self, mode: Mode) -> Result<&Params, Error> {
-        self.sets.get(&mode).ok_or(Error::UnknownMode { mode })
+        // Single-mode families (the common case) resolve with one
+        // compare; larger families scan — they hold a handful of modes
+        // at most, so a linear pass beats binary-search bookkeeping.
+        if let [(m, p)] = self.sets.as_slice() {
+            return if *m == mode {
+                Ok(p)
+            } else {
+                Err(Error::UnknownMode { mode })
+            };
+        }
+        self.sets
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|(_, p)| p)
+            .ok_or(Error::UnknownMode { mode })
     }
 
     /// Number of modes defined.
@@ -144,7 +165,7 @@ impl ModedParams {
     /// discrete signals in themselves, so that error detection may be
     /// implemented for them as well".
     pub fn mode_variable_params(&self) -> DiscreteParams {
-        DiscreteParams::random(self.sets.keys().map(|m| Sample::from(*m)))
+        DiscreteParams::random(self.sets.iter().map(|(m, _)| Sample::from(*m)))
             .expect("a ModedParams always has at least one mode")
     }
 }

@@ -144,6 +144,7 @@ impl SignalMonitor {
     /// value which is committed instead, and the violation is returned so
     /// the caller can log it, raise the detection pin, and (optionally)
     /// write the repaired value back with [`Self::last_committed`].
+    #[inline]
     pub fn check(&mut self, sample: Sample) -> Result<Checked, Violation> {
         self.checks += 1;
         let params = self

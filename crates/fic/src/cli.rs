@@ -29,6 +29,13 @@
 //!   forking and steady-state fast-forward) and replay every trial from
 //!   t = 0. Results are bit-identical either way; this is the slow
 //!   cross-check and benchmark baseline;
+//! * `--scalar` — run checkpointed trials one at a time instead of in
+//!   lockstep batches (the pre-batching execution path). Results are
+//!   bit-identical either way; this is the differential cross-check
+//!   the batch-equivalence suite runs against;
+//! * `--batch-size <n>` — cap the number of lanes per lockstep batch
+//!   (default [`crate::campaign::DEFAULT_BATCH_SIZE`]; `0` = all trials of a
+//!   test case in one batch). Split points cannot change any result;
 //! * `--shard k/n` — run only shard `k` of `n` (1-based) of the trial
 //!   grid: a deterministic slice recorded in the journal header.
 //!   Combine shard journals with `merge_journals`;
@@ -83,6 +90,11 @@ pub struct CliOptions {
     /// Replay every trial from t = 0 instead of forking cached
     /// fault-free prefixes.
     pub no_checkpoint: bool,
+    /// Run checkpointed trials one at a time instead of in lockstep
+    /// batches.
+    pub scalar: bool,
+    /// Lane cap per lockstep batch (`None` = whole case per batch).
+    pub batch_size: Option<usize>,
     /// Run only this deterministic slice of the trial grid:
     /// `(index, count)`, 1-based, from `--shard k/n`.
     pub shard: Option<(usize, usize)>,
@@ -112,6 +124,8 @@ impl Default for CliOptions {
             trace: false,
             repro_dir: PathBuf::from("results/repro"),
             no_checkpoint: false,
+            scalar: false,
+            batch_size: None,
             shard: None,
             telemetry_jsonl: None,
             no_telemetry: false,
@@ -132,7 +146,8 @@ impl CliOptions {
                     "usage: [--scale n] [--observation ms] [--workers n] [--out dir] \
                      [--load file] [--journal file] [--resume] [--from-journal file] \
                      [--check-golden] [--refresh-golden] [--golden-dir dir] \
-                     [--trace] [--repro-dir dir] [--no-checkpoint] [--shard k/n] \
+                     [--trace] [--repro-dir dir] [--no-checkpoint] [--scalar] \
+                     [--batch-size n] [--shard k/n] \
                      [--telemetry-jsonl file] [--no-telemetry] \
                      [--attribution] [--no-attribution]"
                 );
@@ -191,6 +206,14 @@ impl CliOptions {
                 "--trace" => options.trace = true,
                 "--repro-dir" => options.repro_dir = PathBuf::from(value("--repro-dir")?),
                 "--no-checkpoint" => options.no_checkpoint = true,
+                "--scalar" => options.scalar = true,
+                "--batch-size" => {
+                    options.batch_size = Some(
+                        value("--batch-size")?
+                            .parse()
+                            .map_err(|e| format!("--batch-size: {e}"))?,
+                    );
+                }
                 "--shard" => options.shard = Some(parse_shard(&value("--shard")?)?),
                 "--telemetry-jsonl" => {
                     options.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")?));
@@ -247,7 +270,11 @@ impl CliOptions {
     pub fn runner(&self, registry: Option<&Arc<telemetry::Registry>>) -> CampaignRunner {
         let mut runner = CampaignRunner::new(self.protocol())
             .with_checkpointing(!self.no_checkpoint)
+            .with_batching(!self.scalar)
             .with_attribution(self.attribution);
+        if let Some(lanes) = self.batch_size {
+            runner = runner.with_batch_size(lanes);
+        }
         if let Some((index, count)) = self.shard {
             runner = runner.with_shard(index, count);
         }
@@ -362,6 +389,61 @@ mod tests {
     fn parses_no_checkpoint() {
         let options = CliOptions::parse(&args(&["--no-checkpoint"])).unwrap();
         assert!(options.no_checkpoint);
+    }
+
+    #[test]
+    fn parses_scalar_and_batch_size() {
+        let options = CliOptions::parse(&[]).unwrap();
+        assert!(!options.scalar);
+        assert_eq!(options.batch_size, None);
+        let runner = options.runner(None);
+        assert!(runner.batching());
+        assert_eq!(runner.batch_size(), crate::campaign::DEFAULT_BATCH_SIZE);
+
+        let options = CliOptions::parse(&args(&["--scalar", "--batch-size", "16"])).unwrap();
+        assert!(options.scalar);
+        assert_eq!(options.batch_size, Some(16));
+        let runner = options.runner(None);
+        assert!(!runner.batching());
+        assert_eq!(runner.batch_size(), 16);
+
+        assert!(CliOptions::parse(&args(&["--batch-size"])).is_err());
+        assert!(CliOptions::parse(&args(&["--batch-size", "many"])).is_err());
+    }
+
+    /// Every flag documented in the README's flag table must be one
+    /// the parser knows — the drift this PR fixes stays fixed.
+    #[test]
+    fn readme_documents_only_known_flags() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md at the repo root");
+        let mut checked = 0;
+        for line in readme.lines() {
+            let Some(rest) = line.strip_prefix("| `--") else {
+                continue;
+            };
+            let flag: String = rest
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '-')
+                .collect();
+            let flag = format!("--{flag}");
+            // A plausible value for flags that take one; harmless
+            // trailing junk is an "unknown flag" error for those that
+            // don't, so probe both shapes.
+            let value = if flag == "--shard" { "1/2" } else { "1" };
+            let with_value = CliOptions::parse(&args(&[&flag, value]));
+            let bare = CliOptions::parse(&args(&[&flag]));
+            let unknown = |r: &Result<CliOptions, String>| {
+                r.as_ref().err().is_some_and(|e| e.contains("unknown flag"))
+            };
+            assert!(
+                !(unknown(&with_value) && unknown(&bare)),
+                "README documents `{flag}`, which fic::cli does not accept"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 20, "README flag table went missing ({checked})");
     }
 
     #[test]

@@ -46,16 +46,19 @@ impl CellU16 {
     }
 
     /// Reads the current value from the RAM image.
+    #[inline]
     pub fn read(self, ram: &Ram) -> u16 {
         ram.read_u16(self.addr).unwrap_or(0)
     }
 
     /// Writes a value to the RAM image.
+    #[inline]
     pub fn write(self, ram: &mut Ram, value: u16) {
         let _ = ram.write_u16(self.addr, value);
     }
 
     /// Adds a wrapping delta (convenient for counters).
+    #[inline]
     pub fn add_wrapping(self, ram: &mut Ram, delta: u16) -> u16 {
         let value = self.read(ram).wrapping_add(delta);
         self.write(ram, value);
@@ -76,11 +79,13 @@ impl CellU8 {
     }
 
     /// Reads the current value from the RAM image.
+    #[inline]
     pub fn read(self, ram: &Ram) -> u8 {
         ram.read_u8(self.addr).unwrap_or(0)
     }
 
     /// Writes a value to the RAM image.
+    #[inline]
     pub fn write(self, ram: &mut Ram, value: u8) {
         let _ = ram.write_u8(self.addr, value);
     }

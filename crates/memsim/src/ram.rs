@@ -37,6 +37,7 @@ impl Ram {
         self.bytes.fill(0);
     }
 
+    #[inline]
     fn bounds(&self, addr: usize, width: usize) -> Result<(), Error> {
         if addr
             .checked_add(width)
@@ -56,6 +57,7 @@ impl Ram {
     /// # Errors
     ///
     /// [`Error::OutOfBounds`] if `addr` is outside the bank.
+    #[inline]
     pub fn read_u8(&self, addr: usize) -> Result<u8, Error> {
         self.bounds(addr, 1)?;
         Ok(self.bytes[addr])
@@ -66,6 +68,7 @@ impl Ram {
     /// # Errors
     ///
     /// [`Error::OutOfBounds`] if `addr` is outside the bank.
+    #[inline]
     pub fn write_u8(&mut self, addr: usize, value: u8) -> Result<(), Error> {
         self.bounds(addr, 1)?;
         self.bytes[addr] = value;
@@ -77,6 +80,7 @@ impl Ram {
     /// # Errors
     ///
     /// [`Error::OutOfBounds`] if `addr + 1` is outside the bank.
+    #[inline]
     pub fn read_u16(&self, addr: usize) -> Result<u16, Error> {
         self.bounds(addr, 2)?;
         Ok(u16::from_le_bytes([self.bytes[addr], self.bytes[addr + 1]]))
@@ -87,6 +91,7 @@ impl Ram {
     /// # Errors
     ///
     /// [`Error::OutOfBounds`] if `addr + 1` is outside the bank.
+    #[inline]
     pub fn write_u16(&mut self, addr: usize, value: u16) -> Result<(), Error> {
         self.bounds(addr, 2)?;
         let [lo, hi] = value.to_le_bytes();
@@ -100,6 +105,7 @@ impl Ram {
     /// # Errors
     ///
     /// [`Error::OutOfBounds`] / [`Error::BadBit`] for bad coordinates.
+    #[inline]
     pub fn flip_bit(&mut self, addr: usize, bit: u8) -> Result<(), Error> {
         self.bounds(addr, 1)?;
         if bit >= 8 {

@@ -1,0 +1,336 @@
+//! Differential gate for the lockstep batch executor.
+//!
+//! The batched campaign path (`CampaignRunner` with batching on, the
+//! default) must be indistinguishable from the scalar checkpointed path
+//! in every result-bearing artifact: the rendered Tables 7–9, the
+//! journal file byte for byte (at one worker, where append order is
+//! deterministic), the attribution aggregate, and the
+//! result-derived telemetry counters. This suite runs both paths over
+//! the same grid slices and compares all of it:
+//!
+//! * a deterministic E1 slice (the CI gate — `ci_slice_*` below);
+//! * proptest-driven random slices of the E1 and E2 error sets with
+//!   random `--batch-size` split points, so the lane/chunk geometry is
+//!   fuzzed rather than hand-picked.
+//!
+//! On any mismatch the suite locates the first journal record that
+//! differs, re-runs that ⟨error, case⟩ pair under the `fic::trace`
+//! differential oracle, and dumps a repro bundle into
+//! `target/batch-repro/` naming the diverging lane and the first
+//! diverging instant. Proptest failures additionally print the
+//! generating inputs, which reproduce the failing slice exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use ea_repro::fic::journal::Journal;
+use ea_repro::fic::telemetry::Registry;
+use ea_repro::fic::trace::{self, ReproError};
+use ea_repro::fic::{
+    error_set, run_trial_traced, tables, AttributionAggregate, CampaignRunner, JournalWriter,
+    Protocol, ReproBundle,
+};
+use ea_repro::memsim::BitFlip;
+use proptest::prelude::*;
+
+/// Result-derived counters that must agree between the two paths.
+/// Timing histograms (queue wait, snapshot build) are excluded: they
+/// measure the wall clock, not the result.
+const COMPARED_COUNTERS: &[&str] = &[
+    "campaign.trials",
+    "campaign.trials.settled",
+    "campaign.trials.full_window",
+    "campaign.window_ms.simulated",
+    "campaign.window_ms.skipped",
+    "campaign.checkpoint.cache.hits",
+    "campaign.checkpoint.cache.misses",
+    "campaign.settle.proof.exact",
+    "campaign.settle.proof.translated",
+    "campaign.settle.proof.retired_clock",
+    "campaign.settle.proof.frozen_hung",
+];
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ea-repro-batch-eq-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Where mismatch repro bundles land; CI uploads this directory as an
+/// artifact when the job fails.
+fn repro_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/batch-repro")
+}
+
+fn protocol() -> Protocol {
+    let mut protocol = Protocol::scaled(2, 1_500);
+    protocol.workers = 1; // deterministic journal append order
+    protocol
+}
+
+/// Everything result-bearing one campaign run produces.
+struct Artifacts {
+    tables: String,
+    journal: Vec<u8>,
+    attribution: AttributionAggregate,
+    counters: Vec<(String, u64)>,
+}
+
+/// Which execution path to drive. `Batched(0)` means whole-case
+/// batches (the default); `Scalar` is the `--scalar` escape hatch.
+#[derive(Clone, Copy, Debug)]
+enum Mode {
+    Batched(usize),
+    Scalar,
+}
+
+impl Mode {
+    fn apply(self, runner: CampaignRunner) -> CampaignRunner {
+        match self {
+            Mode::Batched(lanes) => runner.with_batching(true).with_batch_size(lanes),
+            Mode::Scalar => runner.with_batching(false),
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            Mode::Batched(lanes) => format!("batched-{lanes}"),
+            Mode::Scalar => "scalar".to_string(),
+        }
+    }
+}
+
+/// One error drawn from either set, reduced to what the comparison and
+/// the repro dump need.
+#[derive(Clone, Copy)]
+struct ErrorRef {
+    number: usize,
+    flip: BitFlip,
+}
+
+fn run_artifacts(
+    protocol: &Protocol,
+    errors: &[ErrorRef],
+    e1: bool,
+    mode: Mode,
+    dir: &Path,
+    tag: &str,
+) -> Artifacts {
+    let registry = Arc::new(Registry::new());
+    let runner = mode.apply(
+        CampaignRunner::new(protocol.clone())
+            .with_telemetry(Arc::clone(&registry))
+            .with_attribution(true),
+    );
+    let path = dir.join(format!("{tag}-{}.jsonl", mode.label()));
+    let mut journal = JournalWriter::create(&path, protocol).unwrap();
+    let tables = if e1 {
+        let full = error_set::e1();
+        let subset: Vec<_> = errors.iter().map(|e| full[e.number - 1]).collect();
+        let report = runner.run_e1_journaled(&subset, &mut journal).unwrap();
+        format!(
+            "{}\n{}",
+            tables::render_table7(&report),
+            tables::render_table8(&report)
+        )
+    } else {
+        let full = error_set::e2();
+        let subset: Vec<_> = errors.iter().map(|e| full[e.number - 1]).collect();
+        let report = runner.run_e2_journaled(&subset, &mut journal).unwrap();
+        tables::render_table9(&report)
+    };
+    journal.finish().unwrap();
+    let snapshot = registry.snapshot();
+    Artifacts {
+        tables,
+        journal: std::fs::read(&path).unwrap(),
+        attribution: runner.attribution().unwrap().snapshot(),
+        counters: COMPARED_COUNTERS
+            .iter()
+            .map(|name| ((*name).to_string(), snapshot.counter(name)))
+            .collect(),
+    }
+}
+
+/// Locates the first journal record that differs, re-runs that pair
+/// under the trace oracle, and writes a repro bundle naming the
+/// diverging lane and instant. Returns the panic message.
+fn dump_divergence(
+    protocol: &Protocol,
+    errors: &[ErrorRef],
+    scalar: &Artifacts,
+    batched: &Artifacts,
+) -> String {
+    let parse = |bytes: &[u8], tag: &str| -> Journal {
+        let path = temp_dir("diverge").join(format!("{tag}.jsonl"));
+        std::fs::write(&path, bytes).unwrap();
+        Journal::load(&path).unwrap()
+    };
+    let s = parse(&scalar.journal, "scalar");
+    let b = parse(&batched.journal, "batched");
+
+    let first = s
+        .records
+        .iter()
+        .zip(b.records.iter())
+        .position(|(x, y)| x != y);
+    let Some(at) = first else {
+        return format!(
+            "batched and scalar journals differ only in length/framing: \
+             {} vs {} records",
+            s.records.len(),
+            b.records.len()
+        );
+    };
+    let record = &s.records[at];
+    let error = errors
+        .iter()
+        .find(|e| e.number == record.error_number)
+        .copied()
+        .expect("journal record names an error outside the slice");
+    // Lane slot within the record's case batch = position of the error
+    // in the slice (whole-case batches enqueue the slice in order).
+    let slot = errors
+        .iter()
+        .position(|e| e.number == record.error_number)
+        .unwrap();
+    let case = protocol.grid.cases()[record.case_index];
+
+    let reference = trace::record_reference(protocol, case);
+    let (trial, observed) = run_trial_traced(protocol, error.flip, case);
+    let mut bundle = ReproBundle::assemble(
+        String::new(),
+        protocol,
+        case,
+        Some(ReproError::new(
+            format!("S{}", record.error_number),
+            error.flip,
+        )),
+        Some(trial),
+        &reference,
+        &observed,
+    );
+    let first_tick = bundle.divergence.first_divergence_ms();
+    bundle.reason = format!(
+        "batched/scalar campaign divergence: first differing journal record #{at} \
+         is S{} case {} (lane slot {slot} of its batch); the fault's trace first \
+         departs the fault-free reference at t={} ms",
+        record.error_number,
+        record.case_index,
+        first_tick.map_or_else(|| "<none>".to_string(), |t| t.to_string()),
+    );
+    let label = format!(
+        "batch-eq-S{}-case{}",
+        record.error_number, record.case_index
+    );
+    let path = trace::write_repro(&repro_dir(), &label, &bundle).unwrap();
+    format!(
+        "batched and scalar paths diverged at journal record #{at} \
+         (S{}, case {}); repro bundle: {}",
+        record.error_number,
+        record.case_index,
+        path.display()
+    )
+}
+
+/// Runs the slice through both paths and asserts every artifact
+/// matches; dumps a repro bundle before panicking on journal mismatch.
+fn assert_paths_equivalent(
+    protocol: &Protocol,
+    errors: &[ErrorRef],
+    e1: bool,
+    batch_size: usize,
+    tag: &str,
+) -> Result<(), TestCaseError> {
+    let dir = temp_dir(tag);
+    let scalar = run_artifacts(protocol, errors, e1, Mode::Scalar, &dir, tag);
+    let batched = run_artifacts(protocol, errors, e1, Mode::Batched(batch_size), &dir, tag);
+
+    if scalar.journal != batched.journal {
+        let message = dump_divergence(protocol, errors, &scalar, &batched);
+        return Err(TestCaseError::Fail(message));
+    }
+    prop_assert_eq!(
+        &scalar.tables,
+        &batched.tables,
+        "tables diverged with byte-identical journals"
+    );
+    prop_assert_eq!(
+        &scalar.attribution,
+        &batched.attribution,
+        "attribution aggregates diverged with byte-identical journals"
+    );
+    prop_assert_eq!(
+        &scalar.counters,
+        &batched.counters,
+        "telemetry counters diverged with byte-identical journals"
+    );
+    Ok(())
+}
+
+fn refs_e1(range: std::ops::Range<usize>) -> Vec<ErrorRef> {
+    error_set::e1()[range]
+        .iter()
+        .map(|e| ErrorRef {
+            number: e.number,
+            flip: e.flip,
+        })
+        .collect()
+}
+
+fn refs_e2(range: std::ops::Range<usize>) -> Vec<ErrorRef> {
+    error_set::e2()[range]
+        .iter()
+        .map(|e| ErrorRef {
+            number: e.number,
+            flip: e.flip,
+        })
+        .collect()
+}
+
+/// The deterministic CI gate: a fixed E1 slice spanning clock, stack
+/// and signal errors, whole-case batches.
+#[test]
+fn ci_slice_e1_batched_path_is_byte_identical() {
+    let errors = refs_e1(76..84);
+    assert_paths_equivalent(&protocol(), &errors, true, 0, "ci-e1").unwrap();
+}
+
+/// The deterministic E2 gate: RAM and stack flips through both paths.
+#[test]
+fn ci_slice_e2_batched_path_is_byte_identical() {
+    let errors = refs_e2(0..4);
+    assert_paths_equivalent(&protocol(), &errors, false, 0, "ci-e2").unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random E1 slices under random batch-size split points.
+    #[test]
+    fn random_e1_slices_are_equivalent(start: u64, len: u64, batch: u64) {
+        let total = error_set::e1().len();
+        let start = (start % total as u64) as usize;
+        let len = 2 + (len % 3) as usize;
+        let end = (start + len).min(total);
+        prop_assume!(end > start);
+        let errors = refs_e1(start..end);
+        let batch_size = (batch % 4) as usize; // 0 = whole case
+        assert_paths_equivalent(&protocol(), &errors, true, batch_size,
+            &format!("fuzz-e1-{start}-{end}-{batch_size}"))?;
+    }
+
+    /// Random E2 slices under random batch-size split points.
+    #[test]
+    fn random_e2_slices_are_equivalent(start: u64, len: u64, batch: u64) {
+        let total = error_set::e2().len();
+        let start = (start % total as u64) as usize;
+        let len = 2 + (len % 3) as usize;
+        let end = (start + len).min(total);
+        prop_assume!(end > start);
+        let errors = refs_e2(start..end);
+        let batch_size = (batch % 4) as usize;
+        assert_paths_equivalent(&protocol(), &errors, false, batch_size,
+            &format!("fuzz-e2-{start}-{end}-{batch_size}"))?;
+    }
+}
