@@ -1,0 +1,67 @@
+//! The fleet campaign server: serves named campaigns to `fleet_worker`
+//! processes over the length-prefixed wire protocol, journals every
+//! accepted slice crash-safely, and exposes live status over HTTP/SSE
+//! on the same port.
+//!
+//! ```text
+//! fleet_server [--listen host:port] [--campaign name]... [--once]
+//!              [--scale n] [--observation ms] [--e1-limit n] [--e2-limit n]
+//!              [--lease-ms ms] [--out dir] [--journal-dir dir]
+//! ```
+//!
+//! With `--once` the server exits after every campaign converges and
+//! the last worker disconnects, printing a per-campaign summary —
+//! the CI `fleet-smoke` topology. Restarting against the same
+//! `--journal-dir` resumes: recorded trials are pre-folded and only the
+//! missing slices are queued.
+
+use std::process::ExitCode;
+
+use fic::fleet::{Server, ServerOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match ServerOptions::parse(&args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("fleet_server: {e}");
+            eprintln!(
+                "usage: fleet_server [--listen host:port] [--campaign name]... [--once] \
+                 [--scale n] [--observation ms] [--e1-limit n] [--e2-limit n] \
+                 [--lease-ms ms] [--out dir] [--journal-dir dir]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let campaigns = options.campaign_specs();
+    let server = match Server::bind(options, campaigns) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("fleet_server: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("fleet_server: listening on {addr}"),
+        Err(e) => eprintln!("fleet_server: listening (local address unavailable: {e})"),
+    }
+    match server.run() {
+        Ok(summary) => {
+            for outcome in &summary.campaigns {
+                println!(
+                    "fleet_server: campaign `{}` complete — {} trials this run, \
+                     journal {}, artefacts {}",
+                    outcome.name,
+                    outcome.trials,
+                    outcome.journal_path.display(),
+                    outcome.out_dir.display()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fleet_server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -417,9 +417,60 @@ impl CampaignRunner {
             E1Report::record,
             CampaignKind::E1,
             None,
+            None,
         )
         .expect("journal-less campaigns do no I/O");
         report
+    }
+
+    /// Runs exactly the given ⟨error index, case index⟩ E1 pairs and
+    /// returns every completed trial sorted by ⟨case, error⟩ — the
+    /// scalar completion order, so the caller's fan-in is deterministic
+    /// regardless of worker count. This is the fleet worker's entry
+    /// point: a slice lease names one test case and a set of errors,
+    /// and the server journals the returned trials itself.
+    pub fn run_e1_pairs(
+        &self,
+        errors: &[E1Error],
+        pairs: &[(usize, usize)],
+    ) -> Vec<(usize, usize, Trial)> {
+        let mut report = E1Report::new();
+        let mut trials = Vec::with_capacity(pairs.len());
+        self.execute(
+            errors,
+            pairs,
+            &mut report,
+            E1Report::record,
+            CampaignKind::E1,
+            None,
+            Some(&mut trials),
+        )
+        .expect("journal-less campaigns do no I/O");
+        trials.sort_unstable_by_key(|t| (t.1, t.0));
+        trials
+    }
+
+    /// Runs exactly the given ⟨error index, case index⟩ E2 pairs; see
+    /// [`CampaignRunner::run_e1_pairs`].
+    pub fn run_e2_pairs(
+        &self,
+        errors: &[E2Error],
+        pairs: &[(usize, usize)],
+    ) -> Vec<(usize, usize, Trial)> {
+        let mut report = E2Report::new();
+        let mut trials = Vec::with_capacity(pairs.len());
+        self.execute(
+            errors,
+            pairs,
+            &mut report,
+            E2Report::record,
+            CampaignKind::E2,
+            None,
+            Some(&mut trials),
+        )
+        .expect("journal-less campaigns do no I/O");
+        trials.sort_unstable_by_key(|t| (t.1, t.0));
+        trials
     }
 
     /// Runs the E2 campaign (the paper set is [`crate::error_set::e2`])
@@ -432,6 +483,7 @@ impl CampaignRunner {
             &mut report,
             E2Report::record,
             CampaignKind::E2,
+            None,
             None,
         )
         .expect("journal-less campaigns do no I/O");
@@ -457,6 +509,7 @@ impl CampaignRunner {
             E1Report::record,
             CampaignKind::E1,
             Some(journal),
+            None,
         )?;
         journal.sync()?;
         Ok(report)
@@ -481,6 +534,7 @@ impl CampaignRunner {
             E2Report::record,
             CampaignKind::E2,
             Some(journal),
+            None,
         )?;
         journal.sync()?;
         Ok(report)
@@ -522,6 +576,7 @@ impl CampaignRunner {
             E1Report::record,
             CampaignKind::E1,
             Some(&mut journal),
+            None,
         )?;
         journal.sync()?;
         Ok(report)
@@ -559,6 +614,7 @@ impl CampaignRunner {
             E2Report::record,
             CampaignKind::E2,
             Some(&mut journal),
+            None,
         )?;
         journal.sync()?;
         Ok(report)
@@ -654,6 +710,7 @@ impl CampaignRunner {
     /// the calling thread) folds them into the report in arrival order
     /// and appends each to the journal. Reports are commutative, so
     /// arrival order does not affect the result.
+    #[allow(clippy::too_many_arguments)]
     fn execute<E, R>(
         &self,
         errors: &[E],
@@ -662,6 +719,7 @@ impl CampaignRunner {
         record: fn(&mut R, &E, &Trial),
         kind: CampaignKind,
         mut journal: Option<&mut JournalWriter>,
+        mut collect: Option<&mut Vec<(usize, usize, Trial)>>,
     ) -> io::Result<()>
     where
         E: Sync + InjectableError,
@@ -840,6 +898,9 @@ impl CampaignRunner {
             while let Ok((ei, ci, trial)) = result_rx.recv() {
                 let error = &errors[ei];
                 record(report, error, &trial);
+                if let Some(out) = collect.as_deref_mut() {
+                    out.push((ei, ci, trial.clone()));
+                }
                 let event = attribution.as_ref().map(|(sink, map)| {
                     let event = error.attribution_event(ci, &trial, map);
                     sink.record(&event);

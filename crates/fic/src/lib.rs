@@ -52,6 +52,7 @@ pub mod coverage_report;
 pub mod error_set;
 pub mod experiment;
 pub mod figures;
+pub mod fleet;
 pub mod golden;
 pub mod journal;
 pub mod protocol;
@@ -72,6 +73,7 @@ pub use experiment::{
     fault_free_prefix, fault_free_prefix_recorded, run_trial, run_trial_checkpointed,
     run_trial_checkpointed_recorded, run_trial_recorded, run_trial_traced, Trial,
 };
+pub use fleet::{FleetError, FleetSummary, Server, ServerOptions, WorkerOptions, WorkerSummary};
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec, TrialRecord};
 pub use protocol::Protocol;
 pub use results::{E1Report, E2Report, SignalRow};

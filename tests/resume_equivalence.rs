@@ -130,6 +130,82 @@ fn tables_from_resumed_journal_match_uninterrupted() {
     );
 }
 
+/// Kills the campaign mid-*case*: keeps the header plus the first
+/// `keep` records — deliberately not a whole-case multiple — then
+/// appends `tail`.
+fn truncate_after_records(path: &PathBuf, keep: usize, tail: &str) {
+    let content = std::fs::read_to_string(path).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    let mut cut = lines[..=keep].join("\n");
+    cut.push('\n');
+    cut.push_str(tail);
+    std::fs::write(path, cut).unwrap();
+}
+
+#[test]
+fn batched_resume_after_mid_case_kill_is_byte_identical() {
+    // The PR 6 lockstep executor runs whole-case lane chunks; a resume
+    // after a kill *inside* a case hands it a partial chunk (some
+    // trials of the case already journaled). The batched resumed run
+    // must still be byte-identical to the uninterrupted batched run —
+    // reports, journal bytes (1 worker), and replay.
+    let path = temp_journal("batched-mid-case");
+    let mut protocol = small_protocol();
+    protocol.workers = 1; // deterministic journal append order
+    let runner = CampaignRunner::new(protocol.clone())
+        .with_batching(true)
+        .with_batch_size(2); // --batch-size > 1: two lanes per chunk
+    let errors = error_set::e1();
+    let subset = &errors[30..34]; // 4 errors × 4 cases = 16 trials
+
+    let uninterrupted = runner.run_e1(subset);
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    let journaled = runner.run_e1_journaled(subset, &mut writer).unwrap();
+    drop(writer);
+    assert_eq!(journaled, uninterrupted);
+    let uninterrupted_bytes = std::fs::read(&path).unwrap();
+
+    // Kill after 6 records: case 0 complete (4 trials in (case, error)
+    // order at 1 worker), case 1 torn at 2 of 4, plus a half-written
+    // trailing line.
+    truncate_after_records(&path, 6, "{\"campaign\":\"E1\",\"error_number\":3");
+    let resumed = runner.resume_e1(subset, &path).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&uninterrupted).unwrap(),
+        serde_json::to_string_pretty(&resumed).unwrap(),
+        "batched resumed E1 report must be byte-identical"
+    );
+
+    // At one worker the batched executor completes trials in scalar
+    // (case, error) order, and the resume's pending pairs are the
+    // exact sorted remainder — so even the journal file is restored
+    // byte for byte.
+    assert_eq!(std::fs::read(&path).unwrap(), uninterrupted_bytes);
+    let journal = Journal::load(&path).unwrap();
+    assert!(!journal.truncated_tail);
+    let (replay_e1, _) = journal.replay().unwrap();
+    assert_eq!(replay_e1, uninterrupted);
+
+    // Same drill on E2 with an odd batch split (batch-size 3 over 4
+    // errors → chunks of 3 + 1).
+    let e2_path = temp_journal("batched-mid-case-e2");
+    let e2_runner = CampaignRunner::new(protocol.clone())
+        .with_batching(true)
+        .with_batch_size(3);
+    let e2_subset = &error_set::e2()[..4];
+    let e2_uninterrupted = e2_runner.run_e2(e2_subset);
+    let mut writer = JournalWriter::create(&e2_path, &protocol).unwrap();
+    e2_runner.run_e2_journaled(e2_subset, &mut writer).unwrap();
+    drop(writer);
+    truncate_after_records(&e2_path, 5, "");
+    let e2_resumed = e2_runner.resume_e2(e2_subset, &e2_path).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&e2_uninterrupted).unwrap(),
+        serde_json::to_string_pretty(&e2_resumed).unwrap(),
+        "batched resumed E2 report must be byte-identical"
+    );
+}
+
 #[test]
 fn corrupt_trailing_line_is_tolerated_but_midfile_corruption_is_not() {
     let path = temp_journal("corruption");
