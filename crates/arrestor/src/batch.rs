@@ -50,6 +50,10 @@ pub struct BatchConfig {
     /// Injection period, ms: every lane's flip is re-applied at each
     /// multiple (0 is treated as 1, as in the scalar path).
     pub injection_period_ms: u64,
+    /// Whether lane detectors use the analytic absorbing-band
+    /// relaxation ([`SettleDetector::with_analytic`]). Must match the
+    /// scalar path's setting for batched/scalar equivalence.
+    pub analytic_settle: bool,
 }
 
 /// One finished lane: the retired [`System`] plus the execution-shape
@@ -125,7 +129,8 @@ pub fn run_lockstep(
         .enumerate()
         .map(|(slot, &flip)| {
             let system = prefix.resume();
-            let settle = SettleDetector::new(&system, Some(flip), period);
+            let settle = SettleDetector::new(&system, Some(flip), period)
+                .with_analytic(config.analytic_settle);
             Lane {
                 slot,
                 flip,
@@ -253,7 +258,8 @@ mod tests {
     ) -> (System, Option<u64>, u64) {
         let mut system = prefix.resume();
         let period = config.injection_period_ms.max(1);
-        let mut settle = SettleDetector::new(&system, Some(flip), period);
+        let mut settle =
+            SettleDetector::new(&system, Some(flip), period).with_analytic(config.analytic_settle);
         let mut settle_stop_ms = None;
         while system.time_ms() < config.observation_ms {
             let t = system.time_ms();
@@ -323,6 +329,7 @@ mod tests {
         let config = BatchConfig {
             observation_ms: 4_000,
             injection_period_ms: 20,
+            analytic_settle: false,
         };
         let prefix = prefix_at(case, 20);
         // A spread of behaviours: an aggressive monitored-signal flip
@@ -357,6 +364,7 @@ mod tests {
         let config = BatchConfig {
             observation_ms: 1_000,
             injection_period_ms: 20,
+            analytic_settle: false,
         };
         assert!(run_lockstep(&prefix, &[], &config).is_empty());
     }
@@ -379,7 +387,36 @@ mod tests {
             &BatchConfig {
                 observation_ms: 1_000,
                 injection_period_ms: 20,
+                analytic_settle: false,
             },
         );
+    }
+
+    #[test]
+    fn lockstep_matches_scalar_with_analytic_settle() {
+        // Full-window lanes so the analytic band actually fires: the
+        // batched and scalar paths must agree on the earlier stop too.
+        let case = TestCase::new(12_000.0, 55.0);
+        let config = BatchConfig {
+            observation_ms: 25_000,
+            injection_period_ms: 20,
+            analytic_settle: true,
+        };
+        let prefix = prefix_at(case, 20);
+        let flips = [
+            BitFlip::new(Region::AppRam, 8, 0),
+            BitFlip::new(Region::Stack, 10, 3),
+        ];
+        let retired = run_lockstep(&prefix, &flips, &config);
+        for (slot, &flip) in flips.iter().enumerate() {
+            let (scalar, scalar_stop, scalar_captures) = scalar_lane(&prefix, flip, &config);
+            let lane = &retired[slot];
+            assert_eq!(lane.settle_stop_ms, scalar_stop, "flip {flip:?}");
+            assert_eq!(lane.settle_captures, scalar_captures, "flip {flip:?}");
+            let batched_outcome = lane.system.clone().finish();
+            let scalar_outcome = scalar.finish();
+            assert_eq!(batched_outcome.verdict, scalar_outcome.verdict);
+            assert_eq!(batched_outcome.detections, scalar_outcome.detections);
+        }
     }
 }

@@ -81,10 +81,58 @@
 //! back), the slave's `mscnt` (incremented, never read), and the
 //! plant's `time_ms` (bookkeeping, never fed back).
 //!
+//! # The analytic absorbing-band relaxation
+//!
+//! The two valve pressures are *not* part of the invariant byte
+//! projection. They are compared separately, under either of two
+//! rules: bit-exact equality (the historical behaviour, always
+//! accepted), or — when [`SettleDetector::with_analytic`] is enabled
+//! and no readout capture is active — the absorbing-band bound of
+//! [`crate::settle`]: if the valve commands have been constant since
+//! before the older capture ([`System::tick_nodes`] tracks the last
+//! change instant) and, per valve, the padded hull of both pressures
+//! and the effective command lies inside a single 0.01 bar sensor
+//! cell, then the pressure trajectory was inside that cell for the
+//! whole matched interval and remains inside it forever (first-order
+//! contraction towards the command, see `crate::settle` and
+//! `docs/PROOFS.md`). The controller only ever reads the quantised
+//! cell, the failure verdict never reads pressures at all, and the
+//! failure accumulators are frozen post-arrest — so digital recurrence
+//! plus an absorbing band proves the outputs final even though the
+//! `f64` pressure bits never recur (for a zero command the decay
+//! `p ← p·(149/150)` needs ≳110 s to reach 0 — the settle tail
+//! PERFORMANCE.md measures). Such matches are reported as
+//! [`SettleProof::AnalyticBand`]. In readout mode the relaxation is
+//! unsound — samples record the raw pressure `f64`s — and is gated
+//! off; exact-bit recurrence (whose samples replay exactly) remains.
+//!
+//! # Recovery write-back
+//!
+//! Runs with recovery enabled keep the detector: a repair writes
+//! [`ea_core::SignalMonitor::last_committed`] — which *is* the monitor's
+//! previous sample, part of the invariant projection — back into the
+//! monitored cell, so repairs replay under recurrence like any other
+//! module write. The one exception is the clock cell `mscnt` (EA6):
+//! under a translated recurrence (δ ≠ 0) a repair must write a
+//! δ-translated value for the offset to survive. `HoldPrevious`
+//! (write the previous sample) and `None` (commit without writing)
+//! are translation-covariant; `Clamp`, `Force` and `RateProject` can
+//! write absolute values into the clock. For those strategies a
+//! δ ≠ 0 translation is rejected whenever an EA6 repair could occur
+//! during the replayed interval: when the flip targets the clock, or
+//! when EA6 has already fired (if EA6 has never fired by `t`, it
+//! fired nowhere in `(t − d, t]`, and by induction over the replay it
+//! never fires — so no clock repair ever happens and the translation
+//! stands). This applies whether the pressures matched bit-exactly or
+//! via the analytic band. The
+//! retired-clock rule survives any strategy: every cell a clock repair
+//! touches is inside the ignored trio, `sys_mode` is not a monitored
+//! signal (repairs cannot un-stop it), and EA6 outcomes are
+//! output-irrelevant once its first detection is logged.
+//!
 //! The detector disables itself — falling back to full-window
-//! execution — whenever a run records state that an early stop could
-//! not reproduce: per-tick tracing, or recovery write-back (which
-//! mutates state non-translation-covariantly). Periodic readout
+//! execution — only when a run records per-tick traces, which an
+//! early stop could never reproduce. Periodic readout
 //! capture (`record_every_ms != 0`) is *not* such a case: the readout
 //! samples are [`simenv::PlantState`] rows, and every `PlantState`
 //! field except `time_ms` is inside the invariant projection, so a
@@ -181,6 +229,10 @@ pub enum SettleProof {
     /// The retired-clock rule: `sys_mode` STOPPED on both sides of a
     /// clock-targeting flip with EA6's first detection logged.
     RetiredClock,
+    /// Digital recurrence with the pressures proven inside an
+    /// absorbing sensor cell by the analytic convergence bound
+    /// ([`crate::settle`]) instead of recurring bit-exactly.
+    AnalyticBand,
 }
 
 impl SettleProof {
@@ -191,6 +243,7 @@ impl SettleProof {
             SettleProof::ExactRecurrence => "exact",
             SettleProof::TranslatedRecurrence => "translated",
             SettleProof::RetiredClock => "retired_clock",
+            SettleProof::AnalyticBand => "analytic_band",
         }
     }
 }
@@ -226,6 +279,15 @@ pub struct SettleDetector {
     /// non-zero the FrozenHung shortcut is unsound (see module docs)
     /// and the alignment period absorbs the sample grid.
     readout_every_ms: u64,
+    /// Whether the analytic absorbing-band relaxation
+    /// ([`SettleDetector::with_analytic`]) may replace bit-exact
+    /// pressure recurrence. Ignored (treated as off) in readout mode.
+    analytic: bool,
+    /// Whether the run's recovery strategy can write absolute values
+    /// into the clock cell (module docs §Recovery write-back): when
+    /// true, δ ≠ 0 translations are rejected if an EA6 repair could
+    /// occur during the replayed interval.
+    recovery_noncovariant: bool,
     /// Fingerprints taken so far (telemetry: fingerprinting cost).
     captures: u64,
     /// What proved the run settled, once [`SettleDetector::check`]
@@ -254,21 +316,41 @@ struct Fingerprint {
     /// Whether EA6's first detection was already logged at capture time
     /// (monotone: the log is append-only).
     ea6_decided: bool,
+    /// Valve pressures as `f64` bit patterns — outside the invariant
+    /// projection so [`SettleDetector::matches`] can accept either
+    /// bit-exact recurrence or the analytic absorbing band.
+    p_master_bits: u64,
+    p_slave_bits: u64,
+    /// Valve commands at capture (duplicated from `bytes` in value
+    /// form: the band check integrates towards them).
+    cmd_master_pu: u16,
+    cmd_slave_pu: u16,
+    /// Instant since which the command pair has been constant
+    /// ([`System::cmds_stable_since_ms`]) — the band argument needs
+    /// constancy over the whole matched interval.
+    cmds_stable_since_ms: u64,
 }
 
 impl SettleDetector {
     /// A detector for a run of `system`, injected with `flip` (None
     /// for a fault-free run) every `injection_period_ms`.
     ///
-    /// The detector starts disabled when the run records per-tick
-    /// state (trace) or repairs signals in place (recovery
-    /// write-back): early exit would change those outputs. Periodic
+    /// The detector starts disabled only when the run records per-tick
+    /// state (trace): early exit would truncate that output. Recovery
+    /// write-back runs stay enabled — repairs replay under recurrence
+    /// (module docs §Recovery write-back). Periodic
     /// readout capture stays enabled — the sample grid is folded into
     /// the alignment period and settled runs reconstruct their
     /// remaining samples (see module docs).
     pub fn new(system: &System, flip: Option<BitFlip>, injection_period_ms: u64) -> Self {
         let config = system.config();
-        let disabled = config.trace || config.recovery.is_some();
+        let disabled = config.trace;
+        let recovery_noncovariant = config.recovery.as_ref().is_some_and(|s| {
+            !matches!(
+                s,
+                ea_core::RecoveryStrategy::None | ea_core::RecoveryStrategy::HoldPrevious
+            )
+        });
         let sig = system.master().signals();
         let locals = system.master().calc_locals();
         let mscnt_addr = sig.mscnt.addr();
@@ -312,10 +394,26 @@ impl SettleDetector {
                 .as_ref()
                 .is_some_and(|f| in_cell(Region::AppRam, sys_mode_addr, f)),
             readout_every_ms,
+            analytic: false,
+            recovery_noncovariant,
             captures: 0,
             proof: None,
             recurrence_ms: None,
         }
+    }
+
+    /// Enables (or disables) the analytic absorbing-band relaxation:
+    /// pressure recurrence may then be proven by the convergence bound
+    /// of [`crate::settle`] instead of bit-exact equality, which stops
+    /// trials seconds earlier and gives never-recurring decays (e.g.
+    /// towards a zero command) a sound early verdict. Off by default;
+    /// campaigns enable it (`--no-analytic-settle` opts out). Has no
+    /// effect in readout mode, where the relaxation would be unsound
+    /// (samples record the raw pressure `f64`s).
+    #[must_use]
+    pub const fn with_analytic(mut self, enabled: bool) -> Self {
+        self.analytic = enabled;
+        self
     }
 
     /// Fingerprints taken so far.
@@ -428,14 +526,15 @@ impl SettleDetector {
             slave.signals().mscnt.addr(),
         );
 
+        // The valve pressures stay out of the invariant projection:
+        // `matches` compares them separately (bit-exact or via the
+        // analytic absorbing band).
         let plant = system.plant_state();
         for v in [
             plant.distance_m,
             plant.velocity_ms,
             plant.retardation_ms2,
             plant.cable_force_n,
-            plant.pressure_master_bar,
-            plant.pressure_slave_bar,
         ] {
             bytes.extend_from_slice(&v.to_bits().to_le_bytes());
         }
@@ -491,6 +590,11 @@ impl SettleDetector {
                 .events()
                 .iter()
                 .any(|e| e.monitor.0 == ea6_index),
+            p_master_bits: plant.pressure_master_bar.to_bits(),
+            p_slave_bits: plant.pressure_slave_bar.to_bits(),
+            cmd_master_pu: master_valve,
+            cmd_slave_pu: slave_valve,
+            cmds_stable_since_ms: system.cmds_stable_since_ms(),
         }
     }
 
@@ -499,6 +603,49 @@ impl SettleDetector {
         if current.hash != old.hash || current.kernel != old.kernel || current.bytes != old.bytes {
             return None;
         }
+        // Valve pressures, compared outside the byte projection:
+        // bit-exact recurrence always qualifies; otherwise the analytic
+        // absorbing band may prove the sensor readings constant over
+        // the interval and forever after (module docs §analytic).
+        let exact_pressures =
+            current.p_master_bits == old.p_master_bits && current.p_slave_bits == old.p_slave_bits;
+        if !exact_pressures {
+            if !self.analytic || self.readout_every_ms != 0 {
+                return None;
+            }
+            // Equal command latches at the endpoints are already in
+            // `bytes`; the band argument additionally needs the
+            // commands constant over the *whole* interval so the hull
+            // covers every intermediate pressure.
+            if current.cmds_stable_since_ms > old.at_ms {
+                return None;
+            }
+            let master_ok = crate::settle::absorbing_cell(
+                f64::from_bits(old.p_master_bits),
+                f64::from_bits(current.p_master_bits),
+                current.cmd_master_pu,
+            )
+            .is_some();
+            let slave_ok = crate::settle::absorbing_cell(
+                f64::from_bits(old.p_slave_bits),
+                f64::from_bits(current.p_slave_bits),
+                current.cmd_slave_pu,
+            )
+            .is_some();
+            if !master_ok || !slave_ok {
+                return None;
+            }
+        }
+        // Everything below proves the *digital* state recurs; when the
+        // pressures only matched via the band, the proof is reported
+        // as AnalyticBand whatever trio rule carried it.
+        let labelled = |proof: SettleProof| {
+            if exact_pressures {
+                proof
+            } else {
+                SettleProof::AnalyticBand
+            }
+        };
         // Retired-clock rule: once `sys_mode` is STOPPED, CALC's
         // velocity/stall pass — the only reader of the clock besides
         // EA6 — is unreachable, and STOPPED is absorbing (only the
@@ -512,7 +659,7 @@ impl SettleDetector {
             && old.sys_mode == mode::STOPPED
             && old.ea6_decided
         {
-            return Some(SettleProof::RetiredClock);
+            return Some(labelled(SettleProof::RetiredClock));
         }
         // The clock and EA6's previous sample must agree on one joint
         // offset δ (mod 2^16).
@@ -528,6 +675,15 @@ impl SettleDetector {
             return None;
         }
         if delta != 0 && self.flip_hits_mscnt && u32::from(delta) % self.mscnt_modulus != 0 {
+            return None;
+        }
+        // Non-covariant recovery can write absolute values into the
+        // clock; reject translations whenever an EA6 repair could occur
+        // during the replayed interval (module docs §Recovery
+        // write-back). `ea6_decided` is monotone, so `current` covers
+        // `old` too.
+        if delta != 0 && self.recovery_noncovariant && (self.flip_hits_mscnt || current.ea6_decided)
+        {
             return None;
         }
         let proof = if delta == 0 {
@@ -551,7 +707,7 @@ impl SettleDetector {
         } else {
             false
         };
-        accepted.then_some(proof)
+        accepted.then(|| labelled(proof))
     }
 }
 
@@ -701,6 +857,103 @@ mod tests {
         );
         assert_eq!(early.detections, full.detections);
         assert!(t < 20_000, "settled too late: {t}");
+    }
+
+    #[test]
+    fn analytic_band_stops_earlier_with_identical_outputs() {
+        // Two detectors over one system: the analytic one must stop
+        // strictly earlier (it does not wait for the f64 pressure bits
+        // to recur) and the early outputs must equal the full window's.
+        let mut system = system();
+        let mut plain = SettleDetector::new(&system, None, 20);
+        let mut analytic = SettleDetector::new(&system, None, 20).with_analytic(true);
+        let mut analytic_at = None;
+        let mut plain_at = None;
+        let mut early = None;
+        while system.time_ms() < 40_000 && plain_at.is_none() {
+            if analytic_at.is_none() && analytic.check(&system) {
+                analytic_at = Some(system.time_ms());
+                early = Some(system.clone());
+            }
+            if plain.check(&system) {
+                plain_at = Some(system.time_ms());
+            }
+            system.tick();
+        }
+        let ta = analytic_at.expect("analytic detector settles inside the window");
+        let te = plain_at.expect("exact detector settles inside the window");
+        assert!(ta < te, "analytic {ta} ms must beat exact {te} ms");
+        assert_eq!(analytic.proof(), Some(SettleProof::AnalyticBand));
+        let early = early.expect("cloned at the analytic stop").finish();
+        let full = system.run_to_completion();
+        assert_eq!(
+            early.verdict.final_distance_m.to_bits(),
+            full.verdict.final_distance_m.to_bits()
+        );
+        assert_eq!(early.detections, full.detections);
+    }
+
+    #[test]
+    fn recovery_run_keeps_detector_and_matches_full_window() {
+        // A write-back campaign with a covariant strategy must settle
+        // (the detector used to disable itself for every recovery run),
+        // and the settled outputs must match a full-window run with the
+        // same continued injections.
+        let config = RunConfig {
+            recovery: Some(ea_core::RecoveryStrategy::HoldPrevious),
+            ..RunConfig::default()
+        };
+        let case = TestCase::new(12_000.0, 55.0);
+        let mut system = System::new(case, config.clone());
+        let flip = BitFlip::new(
+            Region::AppRam,
+            system.master().signals().set_value.addr() + 1,
+            7,
+        );
+        let mut detector = SettleDetector::new(&system, Some(flip), 20);
+        let mut settled = None;
+        while system.time_ms() < config.observation_ms {
+            let t = system.time_ms();
+            if detector.check(&system) {
+                settled = Some(t);
+                break;
+            }
+            if t > 0 && t.is_multiple_of(20) {
+                system.inject(flip);
+            }
+            system.tick();
+        }
+        let t = settled.expect("recovery campaigns must settle, not self-disable");
+        assert!(t < config.observation_ms);
+        let mut reference = System::new(case, config.clone());
+        while reference.time_ms() < config.observation_ms {
+            let rt = reference.time_ms();
+            if rt > 0 && rt.is_multiple_of(20) {
+                reference.inject(flip);
+            }
+            reference.tick();
+        }
+        let early = system.finish();
+        let full = reference.finish();
+        assert_eq!(
+            early.verdict.final_distance_m.to_bits(),
+            full.verdict.final_distance_m.to_bits()
+        );
+        assert_eq!(early.verdict.failed(), full.verdict.failed());
+        // Continued injections keep appending periodic re-detections,
+        // so the full log extends the early one; what settling claims
+        // final is the per-EA *first* detections (what `fic::Trial`
+        // records): no monitor may fire for the first time after the
+        // stop.
+        assert_eq!(&full.detections[..early.detections.len()], early.detections);
+        let firsts = |events: &[ea_core::DetectionEvent]| {
+            let mut seen = std::collections::BTreeMap::new();
+            for e in events {
+                seen.entry(e.monitor).or_insert(e.at);
+            }
+            seen
+        };
+        assert_eq!(firsts(&early.detections), firsts(&full.detections));
     }
 
     #[test]

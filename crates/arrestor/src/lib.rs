@@ -52,6 +52,7 @@ pub mod kernel;
 pub mod math;
 pub mod modules;
 pub mod node;
+pub mod settle;
 pub mod signals;
 pub mod stackmodel;
 pub mod system;

@@ -1,0 +1,140 @@
+//! Analytic convergence bound for the hydraulic first-order lag — the
+//! `settle::analytic` half of the settle machinery (the recurrence
+//! detector itself lives in [`crate::checkpoint`]).
+//!
+//! # The absorbing-band argument
+//!
+//! [`simenv::Plant::step`] integrates each valve pressure as a
+//! first-order lag towards the clamped command `c`:
+//!
+//! ```text
+//! p ← p + (c − p) · DT_S / VALVE_TAU_S        (α = DT_S/τ = 1/150)
+//! ```
+//!
+//! Under a *constant* command this map is a monotone contraction: `p`
+//! moves towards `c` every step and never crosses it, so the closed
+//! interval `hull(p, c)` is forward-invariant — once the trajectory is
+//! inside, it stays inside forever. This holds for the actual `f64`
+//! arithmetic, not just the real-valued model: with `d = fl(c − p)`,
+//! the applied increment `fl(fl(d / τ) · dt)` has the sign of `d` and
+//! magnitude at most `|d| · (1/150) · (1 + 3ε) < |d|`, and rounding the
+//! sum `p + inc` to nearest cannot cross the representable value `c`
+//! because the exact sum lies strictly between `p` and `c`. The
+//! [`MARGIN_BAR`] padding below absorbs the residual half-ulp of slack
+//! with five orders of magnitude to spare against the 0.01 bar cell
+//! width.
+//!
+//! The controller never reads `p` itself — only the quantised sensor
+//! reading [`simenv::plant::to_units`]`(p)` (0.01 bar cells). So if the
+//! whole forward-invariant hull lies inside **one** sensor cell, the
+//! reading is constant for the rest of the run even though the `f64`
+//! bits of `p` keep creeping towards `c` (for `c = 0` the decay
+//! `p ← p·(149/150)` needs ≳110 s to reach its fixpoint — this bound
+//! is what removes the settle tail PERFORMANCE.md measures). The recurrence
+//! detector combines this bound with digital-state periodicity and
+//! command constancy over the matched interval to stop such trials
+//! with provably final outputs; the full soundness argument is in
+//! `docs/PROOFS.md`.
+//!
+//! Checked here, used by [`crate::checkpoint::SettleDetector`]:
+//! given the pressures at two capture instants and the (constant)
+//! command, [`absorbing_cell`] certifies that every pressure the plant
+//! took between the captures, and every pressure it will ever take
+//! afterwards, quantises to the same sensor cell.
+
+use simenv::plant::{clamp_pressure, to_units};
+use simenv::spec;
+
+/// Safety padding applied to the invariant hull before the one-cell
+/// containment test, in bar. The hull-invariance argument above is
+/// exact up to rounding of the comparisons themselves; 1e-6 bar is
+/// ~10⁴ × any such residual and 10⁻⁴ × the 0.01 bar cell width, so the
+/// padding costs at most a fraction of a millisecond of extra decay
+/// before a trial qualifies.
+pub const MARGIN_BAR: f64 = 1e-6;
+
+/// Certifies the absorbing-band condition for one valve.
+///
+/// `p_old_bar` and `p_now_bar` are the valve pressure at an earlier and
+/// the current capture instant; `cmd_pu` is the valve command (software
+/// units of 0.01 bar) that was constant over the whole interval — the
+/// caller must establish constancy, equality at the endpoints is not
+/// enough. Returns the sensor cell `Some(units)` when:
+///
+/// * the effective command `c = clamp_pressure(cmd_pu / 100)` — the
+///   exact value [`simenv::Plant::step`] integrates towards — and both
+///   pressures span a hull that quantises to a single cell even after
+///   [`MARGIN_BAR`] padding.
+///
+/// Monotonicity of [`to_units`] makes the endpoint test sufficient for
+/// the whole padded interval; forward-invariance of `hull(p, c)` under
+/// the contraction extends it to the entire past interval (the
+/// trajectory ran from `p_old` towards `c`, so it stayed inside
+/// `hull(p_old, c)`) and to all future time. `None` means the bound
+/// cannot certify constant readings (yet) — the caller falls back to
+/// exact-bit recurrence.
+pub fn absorbing_cell(p_old_bar: f64, p_now_bar: f64, cmd_pu: u16) -> Option<u16> {
+    if !p_old_bar.is_finite() || !p_now_bar.is_finite() {
+        return None;
+    }
+    let c = clamp_pressure(f64::from(cmd_pu) / spec::PRESSURE_UNITS_PER_BAR);
+    let lo = p_old_bar.min(p_now_bar).min(c) - MARGIN_BAR;
+    let hi = p_old_bar.max(p_now_bar).max(c) + MARGIN_BAR;
+    let cell = to_units(p_now_bar);
+    (to_units(p_old_bar) == cell && to_units(lo) == cell && to_units(hi) == cell).then_some(cell)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_band_around_command_is_absorbing() {
+        // Command 50.00 bar, both pressures within a tenth of a cell.
+        assert_eq!(absorbing_cell(49.999, 50.001, 5_000), Some(5_000));
+    }
+
+    #[test]
+    fn band_straddling_a_cell_boundary_is_rejected() {
+        // 49.995 bar is the boundary between cells 4999 and 5000.
+        assert_eq!(absorbing_cell(49.994, 49.996, 5_000), None);
+    }
+
+    #[test]
+    fn command_outside_the_cell_is_rejected() {
+        // Pressures agree on cell 5000 but the command still pulls the
+        // trajectory towards 60 bar — the hull spans many cells.
+        assert_eq!(absorbing_cell(50.0, 50.0, 6_000), None);
+    }
+
+    #[test]
+    fn decay_to_zero_qualifies_once_below_half_a_unit() {
+        // cmd = 0: the trajectory decays towards 0 and the zero cell is
+        // [0, 0.005); margin keeps a boundary-hugging pressure out.
+        assert_eq!(absorbing_cell(0.004, 0.003, 0), Some(0));
+        assert_eq!(absorbing_cell(0.005, 0.004, 0), None);
+        assert_eq!(absorbing_cell(0.004_999_5, 0.004_999, 0), None);
+    }
+
+    #[test]
+    fn margin_rejects_boundary_hugging_hulls() {
+        let boundary = 49.995; // between cells 4999 and 5000
+        let inside = boundary + MARGIN_BAR / 2.0;
+        assert_eq!(absorbing_cell(inside, inside, 5_000), None);
+        let clear = boundary + 2.0 * MARGIN_BAR;
+        assert_eq!(absorbing_cell(clear, clear, 5_000), Some(5_000));
+    }
+
+    #[test]
+    fn saturated_commands_clamp_like_the_plant() {
+        // A corrupted command of 65535 pu (655 bar) clamps to
+        // PRESSURE_MAX_BAR = 200 bar; near 200 the hull is absorbing.
+        assert_eq!(absorbing_cell(199.999, 199.999_5, u16::MAX), Some(20_000));
+    }
+
+    #[test]
+    fn non_finite_pressures_never_qualify() {
+        assert_eq!(absorbing_cell(f64::NAN, 50.0, 5_000), None);
+        assert_eq!(absorbing_cell(50.0, f64::INFINITY, 5_000), None);
+    }
+}

@@ -78,6 +78,7 @@ pub struct System {
     time_ms: Millis,
     master_valve_pu: u16,
     slave_valve_pu: u16,
+    cmds_stable_since_ms: Millis,
     trace: Option<crate::trace::Trace>,
 }
 
@@ -107,6 +108,7 @@ impl System {
             time_ms: 0,
             master_valve_pu: 0,
             slave_valve_pu: 0,
+            cmds_stable_since_ms: 0,
             trace,
         }
     }
@@ -152,6 +154,16 @@ impl System {
 
     pub(crate) const fn valve_commands_pu(&self) -> (u16, u16) {
         (self.master_valve_pu, self.slave_valve_pu)
+    }
+
+    /// The instant (ms) since which the valve-command pair has been
+    /// constant: [`System::tick_nodes`] stamps the current time whenever
+    /// a tick produces a different `(master_pu, slave_pu)` pair than the
+    /// previous one. The analytic settle proof
+    /// ([`crate::settle`]) needs command constancy over a whole
+    /// capture interval, not just equality at its endpoints.
+    pub(crate) const fn cmds_stable_since_ms(&self) -> Millis {
+        self.cmds_stable_since_ms
     }
 
     /// Injects one SWIFI bit flip into the master's memory.
@@ -217,6 +229,7 @@ impl System {
     /// not diverged.
     pub fn tick_nodes(&mut self, sensors: &simenv::SensorReadout) -> (u16, u16) {
         self.time_ms += 1;
+        let previous = (self.master_valve_pu, self.slave_valve_pu);
         self.master_valve_pu = self.master.tick(
             SensorFrame {
                 pulse_total: sensors.pulse_total,
@@ -226,6 +239,9 @@ impl System {
         );
         let incoming = self.master.take_comm();
         self.slave_valve_pu = self.slave.tick(sensors.pressure_slave_units, incoming);
+        if (self.master_valve_pu, self.slave_valve_pu) != previous {
+            self.cmds_stable_since_ms = self.time_ms;
+        }
         (self.master_valve_pu, self.slave_valve_pu)
     }
 

@@ -29,6 +29,7 @@ fn config() -> BatchConfig {
     BatchConfig {
         observation_ms: OBSERVATION_MS,
         injection_period_ms: INJECTION_PERIOD_MS,
+        analytic_settle: false,
     }
 }
 

@@ -36,22 +36,28 @@ fn worker_counts() -> Vec<usize> {
     counts
 }
 
-/// The three execution modes the sweep compares. `Scalar` is the
+/// The execution modes the sweep compares. `Scalar` is the
 /// checkpointed per-trial loop (the `--scalar` CLI path); `Batched` is
-/// the lockstep SoA executor (the default CLI path).
+/// the lockstep SoA executor (the default CLI path); `Exact` is
+/// `Batched` with the analytic absorbing-band settle proof disabled
+/// (the `--no-analytic-settle` escape hatch, and the default before
+/// the analytic bound landed) — its gap to `Batched` is the settle
+/// tail the bound closes.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Replay,
+    Exact,
     Scalar,
     Batched,
 }
 
 impl Mode {
-    const ALL: [Mode; 3] = [Mode::Replay, Mode::Scalar, Mode::Batched];
+    const ALL: [Mode; 4] = [Mode::Replay, Mode::Exact, Mode::Scalar, Mode::Batched];
 
     fn label(self) -> &'static str {
         match self {
             Mode::Replay => "replay",
+            Mode::Exact => "exact",
             Mode::Scalar => "scalar",
             Mode::Batched => "batched",
         }
@@ -60,6 +66,10 @@ impl Mode {
     fn configure(self, runner: CampaignRunner) -> CampaignRunner {
         match self {
             Mode::Replay => runner.with_checkpointing(false),
+            Mode::Exact => runner
+                .with_checkpointing(true)
+                .with_batching(true)
+                .with_analytic_settle(false),
             Mode::Scalar => runner.with_checkpointing(true).with_batching(false),
             Mode::Batched => runner.with_checkpointing(true).with_batching(true),
         }
@@ -71,30 +81,68 @@ struct TimedRun {
     workers: usize,
     wall_s: f64,
     trials_per_s: f64,
+    /// Mean simulated instant at which settled trials stopped
+    /// (`campaign.settle.stop_ms`); `None` for replay, which never
+    /// settles anything.
+    mean_settle_stop_ms: Option<f64>,
+    settled: u64,
+    full_window: u64,
+    analytic_stops: u64,
     report: E1Report,
 }
 
 fn timed_e1(protocol: &Protocol, errors: &[fic::E1Error], mode: Mode) -> TimedRun {
-    let runner = mode.configure(CampaignRunner::new(protocol.clone()));
+    let registry = std::sync::Arc::new(fic::telemetry::Registry::new());
+    let runner = mode
+        .configure(CampaignRunner::new(protocol.clone()))
+        .with_telemetry(std::sync::Arc::clone(&registry));
     let trials = errors.len() * protocol.cases_per_error();
     let start = Instant::now();
     let report = runner.run_e1(errors);
     let wall_s = start.elapsed().as_secs_f64();
+    let snapshot = registry.snapshot();
+    let stops = snapshot.histograms.get("campaign.settle.stop_ms");
     TimedRun {
         mode: mode.label(),
         workers: protocol.effective_workers().max(1),
         wall_s,
         trials_per_s: trials as f64 / wall_s,
+        mean_settle_stop_ms: stops
+            .filter(|h| h.count > 0)
+            .map(|h| h.sum as f64 / h.count as f64),
+        settled: snapshot.counter("campaign.trials.settled"),
+        full_window: snapshot.counter("campaign.trials.full_window"),
+        analytic_stops: snapshot.counter("campaign.settle.analytic.stops"),
         report,
     }
 }
 
-/// Per-worker-count speedup ratios between the three modes.
+/// Mean fault-free arrest instant across the grid's test cases — the
+/// earliest any settle strategy could plausibly stop, since captures
+/// only begin once the plant has arrested. Reported alongside each
+/// mode's mean settle stop so PERFORMANCE.md's arrest-vs-settle
+/// timeline regenerates with the JSON.
+fn mean_arrest_ms(protocol: &Protocol) -> f64 {
+    let cases = protocol.grid.cases();
+    let count = cases.len();
+    let mut total = 0u64;
+    for case in cases {
+        let mut system = arrestor::System::new(case, arrestor::RunConfig::default());
+        while !system.plant_state().arrested && system.time_ms() < protocol.observation_ms {
+            system.tick();
+        }
+        total += system.plant_state().time_ms;
+    }
+    total as f64 / count as f64
+}
+
+/// Per-worker-count speedup ratios between the modes.
 struct Speedup {
     workers: usize,
     scalar_over_replay: f64,
     batched_over_replay: f64,
     batched_over_scalar: f64,
+    batched_over_exact: f64,
 }
 
 /// Runs the grid sweep for one protocol and returns (runs, speedups).
@@ -132,11 +180,15 @@ fn sweep(mut protocol: Protocol, errors: &[fic::E1Error]) -> (Vec<TimedRun>, Vec
             scalar_over_replay: rate(Mode::Scalar) / rate(Mode::Replay),
             batched_over_replay: rate(Mode::Batched) / rate(Mode::Replay),
             batched_over_scalar: rate(Mode::Batched) / rate(Mode::Scalar),
+            batched_over_exact: rate(Mode::Batched) / rate(Mode::Exact),
         };
         eprintln!(
             "    speedups: scalar {:.2}x, batched {:.2}x over replay \
-             (batched/scalar {:.2}x)",
-            speedup.scalar_over_replay, speedup.batched_over_replay, speedup.batched_over_scalar
+             (batched/scalar {:.2}x, batched/exact {:.2}x)",
+            speedup.scalar_over_replay,
+            speedup.batched_over_replay,
+            speedup.batched_over_scalar,
+            speedup.batched_over_exact
         );
         speedups.push(speedup);
     }
@@ -217,6 +269,7 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
                 ),
             ]),
         ),
+        ("mean_arrest_ms", Value::Float(mean_arrest_ms(protocol))),
         (
             "runs",
             Value::Array(
@@ -227,6 +280,13 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
                             ("workers", int(r.workers)),
                             ("wall_s", Value::Float(r.wall_s)),
                             ("trials_per_s", Value::Float(r.trials_per_s)),
+                            (
+                                "mean_settle_stop_ms",
+                                r.mean_settle_stop_ms.map_or(Value::Null, Value::Float),
+                            ),
+                            ("settled", int(r.settled as usize)),
+                            ("full_window", int(r.full_window as usize)),
+                            ("analytic_stops", int(r.analytic_stops as usize)),
                         ])
                     })
                     .collect(),
@@ -244,6 +304,7 @@ fn write_json(path: &std::path::Path, protocol: &Protocol, errors: usize, full_g
                                 ("scalar_over_replay", Value::Float(s.scalar_over_replay)),
                                 ("batched_over_replay", Value::Float(s.batched_over_replay)),
                                 ("batched_over_scalar", Value::Float(s.batched_over_scalar)),
+                                ("batched_over_exact", Value::Float(s.batched_over_exact)),
                             ]),
                         )
                     })

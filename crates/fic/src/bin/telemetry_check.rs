@@ -13,7 +13,12 @@
 //!   distinct test case and hits on every further trial, so
 //!   `misses = Σ distinct cases` and `hits = records − misses`. (A
 //!   resumed run re-misses already-journaled cases; this check is for
-//!   fresh runs, which is what CI produces.)
+//!   fresh runs, which is what CI produces.) The `campaign.prune.*`
+//!   counters are cross-checked the same way: the journal's error
+//!   numbers reconstruct each trial's flip, [`fic::InertMap`] says
+//!   which were prunable, and the counters must agree exactly — unless
+//!   every prune counter is zero (a `--no-prune` run), which skips the
+//!   check;
 //! * `--shards <n>` — the report (and journal) came from `n` shard
 //!   runs merged together (`merge_telemetry` / `merge_journals`). Each
 //!   shard execution had its own checkpoint cache, so the ground truth
@@ -37,6 +42,7 @@ use std::process::ExitCode;
 use fic::attribution::{self, AttributionReport};
 use fic::journal::Journal;
 use fic::telemetry::{ProgressEvent, TelemetryReport, SCHEMA_VERSION};
+use fic::{InertMap, PruneClass};
 
 fn usage() -> ! {
     eprintln!(
@@ -131,6 +137,20 @@ fn main() -> ExitCode {
             ),
             Err(e) => {
                 eprintln!("journal {}: MISMATCH: {e}", path.display());
+                failures += 1;
+            }
+        }
+        match check_prune_counters(report, path, shards) {
+            Ok(PruneCheck::Match { pruned, references }) => println!(
+                "journal {}: prune counters match ({pruned} pruned, {references} reference(s))",
+                path.display()
+            ),
+            Ok(PruneCheck::PruningDisabled) => println!(
+                "journal {}: prune counters all zero (run used --no-prune); skipped",
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("journal {}: PRUNE MISMATCH: {e}", path.display());
                 failures += 1;
             }
         }
@@ -280,6 +300,95 @@ fn check_cache_counters(
         ));
     }
     Ok((hits, misses))
+}
+
+/// Outcome of the prune-counter cross-check.
+enum PruneCheck {
+    /// Counters equal the journal-derived ground truth.
+    Match {
+        /// Total pruned trials the journal implies.
+        pruned: u64,
+        /// Shared reference executions the journal implies.
+        references: u64,
+    },
+    /// Every prune counter is zero while the journal holds prunable
+    /// trials: the run was made with `--no-prune`, nothing to check.
+    PruningDisabled,
+}
+
+/// The report's `campaign.prune.*` counters equal the values the
+/// journal implies. The inert coordinates are a pure function of the
+/// target's memory maps ([`InertMap`]), so each record's flip —
+/// reconstructed from its error number via [`fic::error_set`] —
+/// classifies here exactly as it did inside the runner:
+/// `prune.trials` (split by class) counts the classifying records, and
+/// `prune.references` counts one shared reference execution per
+/// ⟨campaign, shard, test case⟩ holding at least one of them (each
+/// shard execution has its own [`fic::PruneCache`], mirroring the
+/// checkpoint-cache model above).
+fn check_prune_counters(
+    report: &TelemetryReport,
+    path: &std::path::Path,
+    shards: usize,
+) -> Result<PruneCheck, String> {
+    let journal = Journal::load(path).map_err(|e| e.to_string())?;
+    let cases_per_error = journal.header.protocol.cases_per_error();
+    let map = InertMap::new();
+    let e1 = fic::error_set::e1();
+    let e2 = fic::error_set::e2();
+    let (mut dead_stack, mut unread_ram, mut references) = (0u64, 0u64, 0u64);
+    for kind in [fic::CampaignKind::E1, fic::CampaignKind::E2] {
+        for shard in 0..shards {
+            let mut cases = HashSet::new();
+            for record in journal
+                .records
+                .iter()
+                .filter(|r| r.campaign == kind)
+                .filter(|r| {
+                    let pair = (r.error_number - 1) * cases_per_error + r.case_index;
+                    pair % shards == shard
+                })
+            {
+                let flip = match kind {
+                    fic::CampaignKind::E1 => e1[record.error_number - 1].flip,
+                    fic::CampaignKind::E2 => e2[record.error_number - 1].flip,
+                };
+                match map.classify(flip) {
+                    Some(PruneClass::DeadStack) => dead_stack += 1,
+                    Some(PruneClass::UnreadRam) => unread_ram += 1,
+                    None => continue,
+                }
+                cases.insert(record.case_index);
+            }
+            references += cases.len() as u64;
+        }
+    }
+    let expected_pruned = dead_stack + unread_ram;
+    let counters = [
+        ("campaign.prune.trials", expected_pruned),
+        ("campaign.prune.dead_stack", dead_stack),
+        ("campaign.prune.unread_ram", unread_ram),
+        ("campaign.prune.references", references),
+    ];
+    if expected_pruned > 0
+        && counters
+            .iter()
+            .all(|(name, _)| report.snapshot.counter(name) == 0)
+    {
+        return Ok(PruneCheck::PruningDisabled);
+    }
+    for (name, expected) in counters {
+        let got = report.snapshot.counter(name);
+        if got != expected {
+            return Err(format!(
+                "report says {name} = {got}; journal implies {expected}"
+            ));
+        }
+    }
+    Ok(PruneCheck::Match {
+        pruned: expected_pruned,
+        references,
+    })
 }
 
 /// The attribution report's aggregate equals what the journal's trial

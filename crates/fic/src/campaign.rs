@@ -32,7 +32,7 @@ use simenv::TestCase;
 use crate::attribution::{AttributionAggregate, AttributionEvent, MonitoredMap};
 use crate::error_set::{E1Error, E2Error};
 use crate::experiment::{
-    fault_free_prefix, run_case_batch, run_trial, run_trial_checkpointed_observed, Trial,
+    fault_free_prefix, run_case_batch_with, run_trial, run_trial_checkpointed_observed_with, Trial,
     TrialExecution,
 };
 use crate::journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec};
@@ -120,6 +120,12 @@ pub struct CampaignTelemetry {
     proof_translated: Arc<telemetry::Counter>,
     proof_retired: Arc<telemetry::Counter>,
     proof_frozen: Arc<telemetry::Counter>,
+    proof_analytic: Arc<telemetry::Counter>,
+    analytic_stops: Arc<telemetry::Counter>,
+    prune_trials: Arc<telemetry::Counter>,
+    prune_dead_stack: Arc<telemetry::Counter>,
+    prune_unread_ram: Arc<telemetry::Counter>,
+    prune_references: Arc<telemetry::Counter>,
 }
 
 impl CampaignTelemetry {
@@ -149,6 +155,12 @@ impl CampaignTelemetry {
             proof_translated: registry.counter("campaign.settle.proof.translated"),
             proof_retired: registry.counter("campaign.settle.proof.retired_clock"),
             proof_frozen: registry.counter("campaign.settle.proof.frozen_hung"),
+            proof_analytic: registry.counter("campaign.settle.proof.analytic_band"),
+            analytic_stops: registry.counter("campaign.settle.analytic.stops"),
+            prune_trials: registry.counter("campaign.prune.trials"),
+            prune_dead_stack: registry.counter("campaign.prune.dead_stack"),
+            prune_unread_ram: registry.counter("campaign.prune.unread_ram"),
+            prune_references: registry.counter("campaign.prune.references"),
             registry: Arc::clone(registry),
         }
     }
@@ -176,7 +188,20 @@ impl CampaignTelemetry {
                 arrestor::SettleProof::TranslatedRecurrence => self.proof_translated.inc(),
                 arrestor::SettleProof::RetiredClock => self.proof_retired.inc(),
                 arrestor::SettleProof::FrozenHung => self.proof_frozen.inc(),
+                arrestor::SettleProof::AnalyticBand => {
+                    self.proof_analytic.inc();
+                    self.analytic_stops.inc();
+                }
             }
+        }
+    }
+
+    /// Folds one pruned (never-executed) trial into the metrics.
+    fn observe_prune(&self, class: crate::prune::PruneClass) {
+        self.prune_trials.inc();
+        match class {
+            crate::prune::PruneClass::DeadStack => self.prune_dead_stack.inc(),
+            crate::prune::PruneClass::UnreadRam => self.prune_unread_ram.inc(),
         }
     }
 }
@@ -246,6 +271,8 @@ pub struct CampaignRunner {
     checkpointing: bool,
     batching: bool,
     batch_size: usize,
+    analytic_settle: bool,
+    pruning: bool,
     telemetry: Option<Arc<telemetry::Registry>>,
     progress: Option<ProgressOptions>,
     shard: Option<ShardSpec>,
@@ -269,11 +296,48 @@ impl CampaignRunner {
             checkpointing: true,
             batching: true,
             batch_size: DEFAULT_BATCH_SIZE,
+            analytic_settle: true,
+            pruning: true,
             telemetry: None,
             progress: None,
             shard: None,
             attribution: None,
         }
+    }
+
+    /// Enables or disables the settle detector's analytic absorbing-band
+    /// relaxation (on by default; the `--no-analytic-settle` escape
+    /// hatch). Results are bit-identical either way — the band changes
+    /// when a trial is proven final, never what it produced (pinned by
+    /// `tests/settle_prune_equivalence.rs`); off trades the ≈5 s settle
+    /// tail back for plain exact-recurrence proofs.
+    #[must_use]
+    pub fn with_analytic_settle(mut self, enabled: bool) -> Self {
+        self.analytic_settle = enabled;
+        self
+    }
+
+    /// Whether settle proofs may use the analytic absorbing band.
+    pub const fn analytic_settle(&self) -> bool {
+        self.analytic_settle
+    }
+
+    /// Enables or disables dominance pruning of statically-inert errors
+    /// (on by default; the `--no-prune` escape hatch). A pruned trial
+    /// is never simulated: it shares its test case's reference trial
+    /// (see [`crate::prune`]), which is bit-identical to what executing
+    /// it would produce. Requires checkpointing — under
+    /// [`CampaignRunner::with_checkpointing`]`(false)` every trial runs
+    /// in full.
+    #[must_use]
+    pub fn with_pruning(mut self, enabled: bool) -> Self {
+        self.pruning = enabled;
+        self
+    }
+
+    /// Whether statically-inert errors skip execution.
+    pub const fn pruning(&self) -> bool {
+        self.pruning
     }
 
     /// Enables assertion-level attribution: every completed trial also
@@ -734,6 +798,11 @@ impl CampaignRunner {
             pending.sort_unstable_by_key(|&(ei, ci)| (ci, ei));
         }
         let cache = self.checkpointing.then(|| Arc::new(CheckpointCache::new()));
+        // Pruning rides on the checkpoint machinery (the reference
+        // trial forks from the cached prefix), so replay mode executes
+        // everything.
+        let prune =
+            (self.pruning && self.checkpointing).then(|| Arc::new(crate::prune::PruneCache::new()));
         let attribution = self.attribution_fold();
 
         let tel = self.telemetry.as_ref().map(CampaignTelemetry::register);
@@ -807,6 +876,8 @@ impl CampaignRunner {
                 let cases = &cases;
                 let protocol = &self.protocol;
                 let cache = cache.clone();
+                let prune = prune.clone();
+                let analytic = self.analytic_settle;
                 let tel = tel.clone();
                 scope.spawn(move || {
                     let worker_trials = tel
@@ -838,17 +909,57 @@ impl CampaignRunner {
                                     ));
                                 }
                                 let prefix = prefix.expect("chunks are never empty");
+                                // Partition the chunk: statically-inert
+                                // errors skip execution and share the
+                                // case's reference trial; live lanes
+                                // run the lockstep batch. Results are
+                                // emitted in chunk order either way, so
+                                // journal bytes never depend on the
+                                // prune setting.
+                                let classes: Vec<Option<crate::prune::PruneClass>> = eis
+                                    .iter()
+                                    .map(|&ei| {
+                                        prune.as_ref().and_then(|p| p.classify(errors[ei].flip()))
+                                    })
+                                    .collect();
+                                let live: Vec<usize> =
+                                    (0..eis.len()).filter(|&i| classes[i].is_none()).collect();
                                 let flips: Vec<memsim::BitFlip> =
-                                    eis.iter().map(|&ei| errors[ei].flip()).collect();
-                                for lane in run_case_batch(protocol, &flips, cases[ci], &prefix) {
+                                    live.iter().map(|&i| errors[eis[i]].flip()).collect();
+                                let mut trials: Vec<Option<Trial>> = vec![None; eis.len()];
+                                for lane in run_case_batch_with(
+                                    protocol, &flips, cases[ci], &prefix, analytic,
+                                ) {
                                     if let Some(t) = &tel {
                                         t.observe_execution(&lane.execution);
                                     }
+                                    trials[live[lane.slot]] = Some(lane.trial);
+                                }
+                                if live.len() < eis.len() {
+                                    let p = prune.as_ref().expect("pruned lanes imply a cache");
+                                    let (reference, built) =
+                                        p.reference(protocol, ci, cases[ci], &prefix, analytic);
+                                    if built {
+                                        if let Some(t) = &tel {
+                                            t.prune_references.inc();
+                                        }
+                                    }
+                                    for (i, class) in classes.iter().enumerate() {
+                                        if let Some(class) = class {
+                                            if let Some(t) = &tel {
+                                                t.observe_prune(*class);
+                                            }
+                                            trials[i] = Some((*reference).clone());
+                                        }
+                                    }
+                                }
+                                for (i, trial) in trials.into_iter().enumerate() {
+                                    let trial = trial.expect("every lane resolved");
                                     if let Some(c) = &worker_trials {
                                         c.inc();
                                     }
                                     result_tx
-                                        .send((eis[lane.slot], ci, lane.trial))
+                                        .send((eis[i], ci, trial))
                                         .expect("collector outlives workers");
                                 }
                             }
@@ -861,16 +972,35 @@ impl CampaignRunner {
                                             cases[ci],
                                             tel.as_ref(),
                                         );
-                                        let (trial, execution) = run_trial_checkpointed_observed(
-                                            protocol,
-                                            errors[ei].flip(),
-                                            cases[ci],
-                                            &prefix,
-                                        );
-                                        if let Some(t) = &tel {
-                                            t.observe_execution(&execution);
+                                        let class = prune
+                                            .as_ref()
+                                            .and_then(|p| p.classify(errors[ei].flip()));
+                                        if let Some(class) = class {
+                                            let p = prune.as_ref().expect("just classified");
+                                            let (reference, built) = p.reference(
+                                                protocol, ci, cases[ci], &prefix, analytic,
+                                            );
+                                            if let Some(t) = &tel {
+                                                if built {
+                                                    t.prune_references.inc();
+                                                }
+                                                t.observe_prune(class);
+                                            }
+                                            (*reference).clone()
+                                        } else {
+                                            let (trial, execution) =
+                                                run_trial_checkpointed_observed_with(
+                                                    protocol,
+                                                    errors[ei].flip(),
+                                                    cases[ci],
+                                                    &prefix,
+                                                    analytic,
+                                                );
+                                            if let Some(t) = &tel {
+                                                t.observe_execution(&execution);
+                                            }
+                                            trial
                                         }
-                                        trial
                                     }
                                     None => {
                                         let trial =

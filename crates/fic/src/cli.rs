@@ -36,6 +36,15 @@
 //! * `--batch-size <n>` — cap the number of lanes per lockstep batch
 //!   (default [`crate::campaign::DEFAULT_BATCH_SIZE`]; `0` = all trials of a
 //!   test case in one batch). Split points cannot change any result;
+//! * `--no-analytic-settle` — restrict settle proofs to exact state
+//!   recurrence, disabling the analytic absorbing-band relaxation
+//!   (`arrestor::settle`). Results are bit-identical either way; trials
+//!   whose pressures are still creeping toward their fixed point run
+//!   longer;
+//! * `--no-prune` — execute statically-inert errors (`fic::prune`)
+//!   instead of sharing their test case's reference trial. Results are
+//!   bit-identical either way; this is the differential cross-check
+//!   for the dominance-prune pass;
 //! * `--shard k/n` — run only shard `k` of `n` (1-based) of the trial
 //!   grid: a deterministic slice recorded in the journal header.
 //!   Combine shard journals with `merge_journals`;
@@ -95,6 +104,11 @@ pub struct CliOptions {
     pub scalar: bool,
     /// Lane cap per lockstep batch (`None` = whole case per batch).
     pub batch_size: Option<usize>,
+    /// Restrict settle proofs to exact recurrence (no analytic
+    /// absorbing band).
+    pub no_analytic_settle: bool,
+    /// Execute statically-inert errors instead of pruning them.
+    pub no_prune: bool,
     /// Run only this deterministic slice of the trial grid:
     /// `(index, count)`, 1-based, from `--shard k/n`.
     pub shard: Option<(usize, usize)>,
@@ -126,6 +140,8 @@ impl Default for CliOptions {
             no_checkpoint: false,
             scalar: false,
             batch_size: None,
+            no_analytic_settle: false,
+            no_prune: false,
             shard: None,
             telemetry_jsonl: None,
             no_telemetry: false,
@@ -147,7 +163,8 @@ impl CliOptions {
                      [--load file] [--journal file] [--resume] [--from-journal file] \
                      [--check-golden] [--refresh-golden] [--golden-dir dir] \
                      [--trace] [--repro-dir dir] [--no-checkpoint] [--scalar] \
-                     [--batch-size n] [--shard k/n] \
+                     [--batch-size n] [--no-analytic-settle] [--no-prune] \
+                     [--shard k/n] \
                      [--telemetry-jsonl file] [--no-telemetry] \
                      [--attribution] [--no-attribution]"
                 );
@@ -214,6 +231,8 @@ impl CliOptions {
                             .map_err(|e| format!("--batch-size: {e}"))?,
                     );
                 }
+                "--no-analytic-settle" => options.no_analytic_settle = true,
+                "--no-prune" => options.no_prune = true,
                 "--shard" => options.shard = Some(parse_shard(&value("--shard")?)?),
                 "--telemetry-jsonl" => {
                     options.telemetry_jsonl = Some(PathBuf::from(value("--telemetry-jsonl")?));
@@ -271,6 +290,8 @@ impl CliOptions {
         let mut runner = CampaignRunner::new(self.protocol())
             .with_checkpointing(!self.no_checkpoint)
             .with_batching(!self.scalar)
+            .with_analytic_settle(!self.no_analytic_settle)
+            .with_pruning(!self.no_prune)
             .with_attribution(self.attribution);
         if let Some(lanes) = self.batch_size {
             runner = runner.with_batch_size(lanes);
@@ -411,6 +432,21 @@ mod tests {
         assert!(CliOptions::parse(&args(&["--batch-size", "many"])).is_err());
     }
 
+    #[test]
+    fn parses_settle_and_prune_escape_hatches() {
+        let options = CliOptions::parse(&[]).unwrap();
+        assert!(!options.no_analytic_settle && !options.no_prune);
+        let runner = options.runner(None);
+        assert!(runner.analytic_settle());
+        assert!(runner.pruning());
+
+        let options = CliOptions::parse(&args(&["--no-analytic-settle", "--no-prune"])).unwrap();
+        assert!(options.no_analytic_settle && options.no_prune);
+        let runner = options.runner(None);
+        assert!(!runner.analytic_settle());
+        assert!(!runner.pruning());
+    }
+
     /// Every flag documented in the README's flag tables must be one
     /// that *some* parser knows — `fic::cli` for the table/figure
     /// binaries, or the fleet server/worker parsers for theirs — so
@@ -454,6 +490,59 @@ mod tests {
             checked += 1;
         }
         assert!(checked >= 20, "README flag table went missing ({checked})");
+    }
+
+    /// The reverse direction: every flag literal one of the parsers
+    /// matches on must be documented (backticked) in the README, so a
+    /// new flag cannot land without a row in a flag table. Flag
+    /// literals are extracted from the parser sources up to their
+    /// `#[cfg(test)]` modules — tests probe deliberately-unknown flags.
+    #[test]
+    fn readme_documents_every_parser_flag() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("README.md at the repo root");
+        // Flags the README documents: every `` `--name `` occurrence,
+        // captured until the first non-flag character (rows write
+        // operands as `` `--scale <n>` ``).
+        let documented: std::collections::BTreeSet<String> = readme
+            .match_indices("`--")
+            .map(|(at, _)| {
+                readme[at + 1..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '-')
+                    .collect()
+            })
+            .collect();
+        // Flags the parsers accept: every string literal of the shape
+        // `"--name"` before the test module. The opener is assembled at
+        // runtime so this test's own source text never matches itself.
+        let opener = format!("{}--", '"');
+        let sources = [
+            ("cli.rs", include_str!("cli.rs")),
+            ("fleet/server.rs", include_str!("fleet/server.rs")),
+            ("fleet/worker.rs", include_str!("fleet/worker.rs")),
+        ];
+        let mut accepted = 0;
+        for (file, source) in sources {
+            let parser = source.split("#[cfg(test)]").next().unwrap();
+            for (at, _) in parser.match_indices(&opener) {
+                let name: String = parser[at + opener.len()..]
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '-')
+                    .collect();
+                if name.is_empty() || !parser[at + opener.len() + name.len()..].starts_with('"') {
+                    continue;
+                }
+                let flag = format!("--{name}");
+                assert!(
+                    documented.contains(&flag),
+                    "{file} accepts `{flag}` but the README does not document it"
+                );
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 30, "flag extraction went missing ({accepted})");
     }
 
     #[test]

@@ -143,11 +143,30 @@ pub fn run_trial_checkpointed_observed(
     case: TestCase,
     prefix: &arrestor::Snapshot,
 ) -> (Trial, TrialExecution) {
+    run_trial_checkpointed_observed_with(protocol, flip, case, prefix, false)
+}
+
+/// [`run_trial_checkpointed_observed`] with the settle detector's
+/// analytic absorbing-band relaxation switched on or off
+/// ([`arrestor::SettleDetector::with_analytic`]). The [`Trial`] is
+/// bit-identical either way — the band only changes *when* a run is
+/// proven final, never what its outputs are — but the execution shape
+/// (stop time, proof kind) differs, which is why the plain name pins
+/// the historical `false` and the campaign layer passes its
+/// `--no-analytic-settle` setting here explicitly.
+pub fn run_trial_checkpointed_observed_with(
+    protocol: &Protocol,
+    flip: BitFlip,
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+    analytic_settle: bool,
+) -> (Trial, TrialExecution) {
     debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
     let mut system = prefix.resume();
     let resumed_at = system.time_ms();
     let period = protocol.injection_period_ms.max(1);
-    let mut settle = arrestor::SettleDetector::new(&system, Some(flip), period);
+    let mut settle =
+        arrestor::SettleDetector::new(&system, Some(flip), period).with_analytic(analytic_settle);
 
     let mut settle_stop_ms = None;
     while system.time_ms() < protocol.observation_ms {
@@ -203,11 +222,26 @@ pub fn run_case_batch(
     case: TestCase,
     prefix: &arrestor::Snapshot,
 ) -> Vec<BatchTrial> {
+    run_case_batch_with(protocol, flips, case, prefix, false)
+}
+
+/// [`run_case_batch`] with the analytic settle relaxation switched on
+/// or off — the batched counterpart of
+/// [`run_trial_checkpointed_observed_with`], with the same contract:
+/// identical [`Trial`]s, different execution shape.
+pub fn run_case_batch_with(
+    protocol: &Protocol,
+    flips: &[BitFlip],
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+    analytic_settle: bool,
+) -> Vec<BatchTrial> {
     debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
     let period = protocol.injection_period_ms.max(1);
     let config = arrestor::BatchConfig {
         observation_ms: protocol.observation_ms,
         injection_period_ms: protocol.injection_period_ms,
+        analytic_settle,
     };
     arrestor::batch::run_lockstep(prefix, flips, &config)
         .into_iter()
@@ -227,6 +261,38 @@ pub fn run_case_batch(
             }
         })
         .collect()
+}
+
+/// The reference trial an **inert** error shares: the fault-free
+/// continuation of `prefix` through the same checkpointed trial loop
+/// as [`run_trial_checkpointed_observed_with`], minus the injections.
+///
+/// An inert error (`fic::prune`) flips bits that no instruction ever
+/// reads — dead stack space, or the `reserved`/`dbg_trace` RAM blocks —
+/// so its trial's entire *read* history, and therefore its [`Trial`],
+/// is bit-identical to this fault-free run's. The dominance-prune pass
+/// executes this once per test case and shares the result across every
+/// inert error of the case; `first_injection_ms` is stamped exactly as
+/// the executed trial would stamp it. Pinned by the prune half of the
+/// differential gate in `tests/settle_prune_equivalence.rs`.
+pub fn run_reference_trial_with(
+    protocol: &Protocol,
+    case: TestCase,
+    prefix: &arrestor::Snapshot,
+    analytic_settle: bool,
+) -> Trial {
+    debug_assert_eq!(prefix.case(), case, "prefix belongs to another case");
+    let mut system = prefix.resume();
+    let period = protocol.injection_period_ms.max(1);
+    let mut settle =
+        arrestor::SettleDetector::new(&system, None, period).with_analytic(analytic_settle);
+    while system.time_ms() < protocol.observation_ms {
+        if settle.check(&system) {
+            break;
+        }
+        system.tick();
+    }
+    finish_trial(system, period).0
 }
 
 /// [`run_trial_checkpointed`] for a readout-recording run: the prefix

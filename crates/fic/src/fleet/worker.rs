@@ -40,6 +40,12 @@ pub struct WorkerOptions {
     /// anything, a SIGKILL equivalent) immediately after taking this
     /// many leases.
     pub die_after_leases: Option<usize>,
+    /// Restrict settle proofs to exact recurrence (no analytic
+    /// absorbing band) — must match the server's reference runs when
+    /// comparing journals bit for bit.
+    pub no_analytic_settle: bool,
+    /// Execute statically-inert errors instead of pruning them.
+    pub no_prune: bool,
 }
 
 impl Default for WorkerOptions {
@@ -51,6 +57,8 @@ impl Default for WorkerOptions {
             poll_ms: 200,
             connect_timeout_ms: 10_000,
             die_after_leases: None,
+            no_analytic_settle: false,
+            no_prune: false,
         }
     }
 }
@@ -95,6 +103,8 @@ impl WorkerOptions {
                             .map_err(|e| format!("--die-after-leases: {e}"))?,
                     );
                 }
+                "--no-analytic-settle" => options.no_analytic_settle = true,
+                "--no-prune" => options.no_prune = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -194,7 +204,7 @@ pub fn run_worker(options: &WorkerOptions) -> Result<WorkerSummary, FleetError> 
                 }
                 let trials = slice.error_numbers.len() as u64;
                 let (records, telemetry) =
-                    execute_slice(&slice, options.threads, &writer, worker_id, lease_ms)?;
+                    execute_slice(&slice, options, &writer, worker_id, lease_ms)?;
                 send(
                     &writer,
                     &Command::SliceResult {
@@ -278,7 +288,7 @@ fn send(writer: &Arc<Mutex<TcpStream>>, command: &Command) -> Result<(), FleetEr
 /// Returns the records in lease order plus the slice's telemetry.
 fn execute_slice(
     slice: &SliceLease,
-    threads: usize,
+    options: &WorkerOptions,
     writer: &Arc<Mutex<TcpStream>>,
     worker_id: u64,
     lease_ms: u64,
@@ -319,9 +329,12 @@ fn execute_slice(
     };
 
     let mut protocol = slice.protocol.clone();
-    protocol.workers = threads;
+    protocol.workers = options.threads;
     let registry = Arc::new(Registry::new());
-    let runner = CampaignRunner::new(protocol).with_telemetry(Arc::clone(&registry));
+    let runner = CampaignRunner::new(protocol)
+        .with_analytic_settle(!options.no_analytic_settle)
+        .with_pruning(!options.no_prune)
+        .with_telemetry(Arc::clone(&registry));
     let pairs: Vec<(usize, usize)> = (0..slice.error_numbers.len())
         .map(|ei| (ei, slice.case_index))
         .collect();

@@ -56,6 +56,7 @@ pub mod fleet;
 pub mod golden;
 pub mod journal;
 pub mod protocol;
+pub mod prune;
 pub mod recovery_study;
 pub mod results;
 pub mod tables;
@@ -76,5 +77,6 @@ pub use experiment::{
 pub use fleet::{FleetError, FleetSummary, Server, ServerOptions, WorkerOptions, WorkerSummary};
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec, TrialRecord};
 pub use protocol::Protocol;
+pub use prune::{InertMap, PruneCache, PruneClass};
 pub use results::{E1Report, E2Report, SignalRow};
 pub use trace::{ReferenceCache, ReproBundle, SignalDivergence, TraceDiff};

@@ -86,7 +86,7 @@ impl Default for FmaxTable {
     }
 }
 
-/// Finds the segment index and (possibly out-of-[0,1]) interpolation
+/// Finds the segment index and (possibly out-of-\[0,1\]) interpolation
 /// parameter for `x` along the sorted axis — out-of-range parameters
 /// produce linear extrapolation.
 fn segment(axis: &[f64], x: f64) -> (usize, f64) {

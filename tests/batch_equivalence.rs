@@ -48,6 +48,12 @@ const COMPARED_COUNTERS: &[&str] = &[
     "campaign.settle.proof.translated",
     "campaign.settle.proof.retired_clock",
     "campaign.settle.proof.frozen_hung",
+    "campaign.settle.proof.analytic_band",
+    "campaign.settle.analytic.stops",
+    "campaign.prune.trials",
+    "campaign.prune.dead_stack",
+    "campaign.prune.unread_ram",
+    "campaign.prune.references",
 ];
 
 fn temp_dir(name: &str) -> PathBuf {

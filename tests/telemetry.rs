@@ -147,6 +147,73 @@ fn cache_counters_match_journal_ground_truth() {
     assert_eq!(snapshot.counter("campaign.trials"), records);
 }
 
+/// The `campaign.prune.*` counters agree with ground truth derived
+/// from the journal: the error numbers reconstruct each flip, the
+/// inert map says which were prunable, and one reference execution is
+/// shared per test case that pruned anything (`telemetry_check
+/// --journal` re-runs this same cross-check on CI artefacts).
+#[test]
+fn prune_counters_match_journal_ground_truth() {
+    let path = temp_dir("prune").join("campaign.jsonl");
+    let protocol = small_protocol();
+    let registry = Arc::new(Registry::new());
+    let runner = CampaignRunner::new(protocol.clone()).with_telemetry(Arc::clone(&registry));
+    // A subset holding both live and inert errors.
+    let map = fic::InertMap::new();
+    let errors = error_set::e2();
+    let live: Vec<_> = errors
+        .iter()
+        .filter(|e| map.classify(e.flip).is_none())
+        .take(2)
+        .cloned()
+        .collect();
+    let inert: Vec<_> = errors
+        .iter()
+        .filter(|e| map.classify(e.flip).is_some())
+        .take(3)
+        .cloned()
+        .collect();
+    assert_eq!((live.len(), inert.len()), (2, 3), "E2 seed changed shape");
+    let subset: Vec<_> = live.into_iter().chain(inert).collect();
+
+    let mut writer = JournalWriter::create(&path, &protocol).unwrap();
+    runner.run_e2_journaled(&subset, &mut writer).unwrap();
+    drop(writer);
+
+    let journal = Journal::load(&path).unwrap();
+    let mut pruned = 0u64;
+    let mut cases_with_pruned: Vec<usize> = Vec::new();
+    for record in &journal.records {
+        assert_eq!(record.campaign, CampaignKind::E2);
+        let flip = errors[record.error_number - 1].flip;
+        if map.classify(flip).is_some() {
+            pruned += 1;
+            cases_with_pruned.push(record.case_index);
+        }
+    }
+    cases_with_pruned.sort_unstable();
+    cases_with_pruned.dedup();
+
+    let snapshot = registry.snapshot();
+    assert_eq!(journal.records.len(), 5 * 4);
+    assert_eq!(pruned, 3 * 4);
+    assert_eq!(snapshot.counter("campaign.prune.trials"), pruned);
+    assert_eq!(
+        snapshot.counter("campaign.prune.dead_stack")
+            + snapshot.counter("campaign.prune.unread_ram"),
+        pruned
+    );
+    assert_eq!(
+        snapshot.counter("campaign.prune.references"),
+        cases_with_pruned.len() as u64
+    );
+    // Pruned trials never execute, but they still count as trials.
+    assert_eq!(
+        snapshot.counter("campaign.trials"),
+        journal.records.len() as u64
+    );
+}
+
 /// Shards partition the grid: disjoint, exhaustive, and their merged
 /// reports equal the unsharded campaign exactly.
 #[test]
