@@ -242,6 +242,28 @@ impl Detectors {
     pub fn bank(&self) -> &DetectorBank {
         &self.bank
     }
+
+    /// Per-mechanism check-execution counts in EA1..EA7 order, as
+    /// tallied by each [`ea_core::SignalMonitor`] since the bank was
+    /// built — the measured half of the assertion cost profile.
+    pub fn check_counts(&self) -> [u64; 7] {
+        let mut counts = [0u64; 7];
+        for ea in EaId::ALL {
+            counts[ea.index()] = self.bank.monitor(self.ids[ea.index()]).checks();
+        }
+        counts
+    }
+
+    /// Per-mechanism deterministic op cost of one check in EA1..EA7
+    /// order (see [`ea_core::cost`]).
+    pub fn check_costs(&self) -> [ea_core::CheckCost; 7] {
+        let mut costs = [ea_core::CheckCost::ZERO; 7];
+        for ea in EaId::ALL {
+            costs[ea.index()] =
+                ea_core::cost::monitor_cost(self.bank.monitor(self.ids[ea.index()]));
+        }
+        costs
+    }
 }
 
 #[cfg(test)]
@@ -299,6 +321,23 @@ mod tests {
         assert_eq!(s.iter().count(), 2);
         assert_eq!(EaSet::ALL.iter().count(), 7);
         assert_eq!(EaSet::NONE.iter().count(), 0);
+    }
+
+    #[test]
+    fn check_counts_track_per_mechanism_executions() {
+        let mut detectors = crate::instrument::build_detectors(EaSet::ALL);
+        assert_eq!(detectors.check_counts(), [0; 7]);
+        detectors.check(EaId::Ea6, 0, 0);
+        detectors.check(EaId::Ea6, 1, 1);
+        detectors.check(EaId::Ea5, 0, 1);
+        let counts = detectors.check_counts();
+        assert_eq!(counts[EaId::Ea6.index()], 2);
+        assert_eq!(counts[EaId::Ea5.index()], 1);
+        assert_eq!(counts[EaId::Ea1.index()], 0);
+        // Every mechanism has a positive deterministic op cost.
+        for cost in detectors.check_costs() {
+            assert!(cost.total_ops() > 0);
+        }
     }
 
     #[test]

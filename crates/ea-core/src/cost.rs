@@ -1,0 +1,260 @@
+//! Deterministic op-count cost model for the executable assertions.
+//!
+//! The DETOx line of work (see the repository's PAPERS.md) searches the
+//! detection-probability-vs-CPU-overhead Pareto front over assertion
+//! subsets. That search needs a *cost* per assertion that is stable
+//! across hosts and runs — wall-clock samples alone drift with cache
+//! state and CPU frequency. This module derives a deterministic cost
+//! from the structure of each parameter set: how many comparisons and
+//! bitmask probes one steady-state execution of the Table 2 / Table 3
+//! procedure performs.
+//!
+//! The model counts the **worst-case passing path** with a previous
+//! sample committed (the steady state of a monitored signal; the
+//! first-sample path is strictly cheaper):
+//!
+//! * continuous ([`assert_cont`](crate::assert_cont)): tests 1 and 2
+//!   (2 comparisons), status determination (2), the active rate-band
+//!   test (2), plus the wrap fallback when `w = allowed` (1 flag test +
+//!   2 band comparisons);
+//! * discrete ([`assert_disc`](crate::assert_disc)) on the dense
+//!   bitmask tables that every small-domain signal uses: `s ∈ D` is an
+//!   offset check (2 comparisons) plus one mask probe, and the
+//!   sequential transition test re-offsets both samples (4 comparisons)
+//!   and probes two domain bits plus one transition bit. Random
+//!   discrete signals skip the transition mask. Domains too wide for
+//!   the dense tables fall back to B-tree lookups, modelled as
+//!   `ceil(log2 |D|)` comparisons per probe;
+//! * moded families add the mode lookup of
+//!   [`ModedParams::params_for`]: one comparison for the single-mode
+//!   common case, a full scan otherwise (worst case);
+//! * dynamic refinements ([`DynamicParams`]) add the profile's
+//!   knot-window scan on top of the static procedure.
+//!
+//! Costs are totalled as plain operation counts so callers can weight
+//! comparisons and probes separately if their target's instruction
+//! timings differ.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cont::ContinuousParams;
+use crate::disc::DiscreteParams;
+use crate::dynamic::DynamicParams;
+use crate::mode::{ModedParams, Params};
+use crate::monitor::SignalMonitor;
+
+/// Operation counts for one steady-state execution of an executable
+/// assertion: the deterministic half of the profiling layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CheckCost {
+    /// Scalar comparisons (range, status, rate-band, offset and mode
+    /// tests).
+    pub comparisons: u32,
+    /// Bitmask probes against the dense domain/transition tables (or
+    /// their B-tree equivalents, converted to comparison counts when
+    /// the domain is too wide for the tables).
+    pub mask_probes: u32,
+}
+
+impl CheckCost {
+    /// The zero cost (used as the additive identity when summing).
+    pub const ZERO: CheckCost = CheckCost {
+        comparisons: 0,
+        mask_probes: 0,
+    };
+
+    /// Total primitive operations, weighting probes like comparisons.
+    pub const fn total_ops(self) -> u32 {
+        self.comparisons + self.mask_probes
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub const fn plus(self, other: CheckCost) -> CheckCost {
+        CheckCost {
+            comparisons: self.comparisons + other.comparisons,
+            mask_probes: self.mask_probes + other.mask_probes,
+        }
+    }
+}
+
+/// Cost of one steady-state Table 2 execution for `params`.
+pub fn continuous_cost(params: &ContinuousParams) -> CheckCost {
+    // Tests 1+2 (2), status (2), active band (2); wrap adds the flag
+    // test plus the fallback band (test 4a/4b).
+    let wrap = if params.wrap().is_allowed() { 3 } else { 0 };
+    CheckCost {
+        comparisons: 6 + wrap,
+        mask_probes: 0,
+    }
+}
+
+/// Cost of one steady-state Table 3 execution for `params`.
+pub fn discrete_cost(params: &DiscreteParams) -> CheckCost {
+    let domain = params.domain();
+    let span_is_dense = match (domain.iter().next(), domain.iter().next_back()) {
+        (Some(&min), Some(&max)) => max.checked_sub(min).is_some_and(|span| span < 64),
+        _ => false,
+    };
+    if span_is_dense {
+        // in_domain: offset (2) + domain probe (1).
+        // transition_allowed: two offsets (4) + two domain probes + the
+        // transition probe (sequential only).
+        let transition_probes = if params.is_sequential() { 3 } else { 2 };
+        CheckCost {
+            comparisons: 6,
+            mask_probes: 1 + transition_probes,
+        }
+    } else {
+        // B-tree fallback: every probe is a tree descent of
+        // ceil(log2 |D|) comparisons; in_domain runs one, the
+        // transition test runs two domain lookups plus (sequential
+        // only) a target-set lookup.
+        let depth = usize::BITS - (domain.len().max(1) - 1).leading_zeros();
+        let lookups = if params.is_sequential() { 4 } else { 3 };
+        CheckCost {
+            comparisons: lookups * depth.max(1),
+            mask_probes: 0,
+        }
+    }
+}
+
+/// Cost of the [`Params::check`] dispatch for either flavour.
+pub fn params_cost(params: &Params) -> CheckCost {
+    match params {
+        Params::Continuous(p) => continuous_cost(p),
+        Params::Discrete(p) => discrete_cost(p),
+    }
+}
+
+/// Cost of one check through a [`ModedParams`] family: the
+/// `params_for` lookup plus the worst mode's assertion cost.
+pub fn moded_cost(params: &ModedParams) -> CheckCost {
+    let lookup = CheckCost {
+        comparisons: params.mode_count() as u32,
+        mask_probes: 0,
+    };
+    params
+        .iter()
+        .map(|(_, p)| params_cost(p))
+        .max_by_key(|c| c.total_ops())
+        .unwrap_or(CheckCost::ZERO)
+        .plus(lookup)
+}
+
+/// Cost of one [`DynamicParams::check`]: the static procedure plus the
+/// profile refinement (knot-window scan, 2 comparisons per window,
+/// plus the final bound test).
+pub fn dynamic_cost(params: &DynamicParams) -> CheckCost {
+    let static_cost = continuous_cost(params.base());
+    let profile_cost = |knots: usize| -> u32 {
+        if knots == 0 {
+            0
+        } else {
+            2 * knots as u32 + 1
+        }
+    };
+    // Only one direction's profile runs per check; charge the pricier.
+    let refinement = params
+        .increase_profile_knots()
+        .max(params.decrease_profile_knots());
+    static_cost.plus(CheckCost {
+        comparisons: profile_cost(refinement),
+        mask_probes: 0,
+    })
+}
+
+/// Cost of one [`SignalMonitor::check`]: the mode lookup (1 comparison
+/// for the single-mode families all of the case study's EAs use) plus
+/// the active parameter set's assertion cost.
+pub fn monitor_cost(monitor: &SignalMonitor) -> CheckCost {
+    params_cost(monitor.active_params()).plus(CheckCost {
+        comparisons: 1,
+        mask_probes: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cont(wrap: bool) -> ContinuousParams {
+        let b = ContinuousParams::builder(0, 1_000)
+            .increase_rate(0, 50)
+            .decrease_rate(0, 50);
+        if wrap { b.wrap_allowed() } else { b }.build().unwrap()
+    }
+
+    #[test]
+    fn continuous_wrap_costs_more() {
+        let plain = continuous_cost(&cont(false));
+        let wrapping = continuous_cost(&cont(true));
+        assert_eq!(plain.comparisons, 6);
+        assert_eq!(wrapping.comparisons, 9);
+        assert_eq!(plain.mask_probes, 0);
+    }
+
+    #[test]
+    fn sequential_discrete_costs_one_probe_more_than_random() {
+        let seq = DiscreteParams::linear(0..7, true).unwrap();
+        let rand = DiscreteParams::random(0..7).unwrap();
+        let seq_cost = discrete_cost(&seq);
+        let rand_cost = discrete_cost(&rand);
+        assert_eq!(seq_cost.comparisons, rand_cost.comparisons);
+        assert_eq!(seq_cost.mask_probes, rand_cost.mask_probes + 1);
+    }
+
+    #[test]
+    fn wide_domains_are_charged_tree_descents() {
+        let wide = DiscreteParams::random((0..100).map(|k| k * 10)).unwrap();
+        let cost = discrete_cost(&wide);
+        assert_eq!(cost.mask_probes, 0);
+        // 100 values → depth 7, three lookups.
+        assert_eq!(cost.comparisons, 21);
+    }
+
+    #[test]
+    fn moded_families_charge_lookup_plus_worst_mode() {
+        let tight = cont(false);
+        let moded = ModedParams::new(0, tight).with(1, cont(true));
+        let cost = moded_cost(&moded);
+        // Worst mode is the wrapping one (9) plus a 2-mode scan.
+        assert_eq!(cost.comparisons, 11);
+    }
+
+    #[test]
+    fn dynamic_refinement_adds_knot_scan() {
+        use crate::dynamic::RateProfile;
+        let base = cont(false);
+        let plain = dynamic_cost(&DynamicParams::new(base));
+        assert_eq!(plain, continuous_cost(&base));
+        let refined = dynamic_cost(
+            &DynamicParams::new(base)
+                .with_increase_profile(RateProfile::new([(0, 50), (1_000, 5)]).unwrap()),
+        );
+        assert_eq!(refined.comparisons, plain.comparisons + 5);
+    }
+
+    #[test]
+    fn monitor_cost_adds_the_mode_lookup() {
+        let monitor = SignalMonitor::continuous("v", cont(false));
+        assert_eq!(monitor_cost(&monitor).comparisons, 7);
+    }
+
+    #[test]
+    fn costs_sum_component_wise() {
+        let a = CheckCost {
+            comparisons: 3,
+            mask_probes: 1,
+        };
+        let b = CheckCost {
+            comparisons: 4,
+            mask_probes: 2,
+        };
+        let sum = a.plus(b);
+        assert_eq!(sum.comparisons, 7);
+        assert_eq!(sum.mask_probes, 3);
+        assert_eq!(sum.total_ops(), 10);
+        assert_eq!(CheckCost::ZERO.plus(a), a);
+    }
+}

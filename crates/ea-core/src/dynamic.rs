@@ -78,6 +78,12 @@ impl RateProfile {
         Ok(RateProfile { knots })
     }
 
+    /// Number of knots in the profile (the cost model charges the
+    /// interpolation scan per knot window).
+    pub fn knot_count(&self) -> usize {
+        self.knots.len()
+    }
+
     /// The maximum admissible rate at `value`.
     pub fn max_rate_at(&self, value: Sample) -> Sample {
         let first = self.knots[0];
@@ -145,6 +151,20 @@ impl DynamicParams {
     /// The underlying static parameters.
     pub fn base(&self) -> &ContinuousParams {
         &self.base
+    }
+
+    /// Knot count of the increase profile (0 when absent).
+    pub fn increase_profile_knots(&self) -> usize {
+        self.incr_profile
+            .as_ref()
+            .map_or(0, RateProfile::knot_count)
+    }
+
+    /// Knot count of the decrease profile (0 when absent).
+    pub fn decrease_profile_knots(&self) -> usize {
+        self.decr_profile
+            .as_ref()
+            .map_or(0, RateProfile::knot_count)
     }
 
     /// Runs the extended assertion: the full static Table 2 procedure,

@@ -77,6 +77,7 @@ pub mod assert_cont;
 pub mod assert_disc;
 pub mod class;
 pub mod cont;
+pub mod cost;
 pub mod coverage;
 pub mod detector;
 pub mod disc;
@@ -92,6 +93,7 @@ pub mod verdict;
 
 pub use class::{ContinuousKind, DiscreteKind, MonotonicRate, SequentialKind, SignalClass};
 pub use cont::{ContinuousParams, ContinuousParamsBuilder, Wrap};
+pub use cost::CheckCost;
 pub use detector::{DetectionEvent, DetectorBank, DivergenceMeta, MonitorId};
 pub use disc::DiscreteParams;
 pub use dynamic::{DynamicParams, RateProfile};

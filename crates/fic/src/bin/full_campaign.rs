@@ -45,6 +45,13 @@
 //! OBSERVABILITY.md). Like telemetry, it never changes a result bit.
 //! With `--from-journal` the events are re-derived from the journaled
 //! trials instead.
+//!
+//! Cost profiling: `--profile` counts every assertion check per EA
+//! during the run, samples per-check wall clock afterwards, and writes
+//! the schema-versioned cost profile under `<out>/profile/`. Join it
+//! with the attribution report via the `detox_report` binary for the
+//! coverage-per-op Pareto table. `--metrics-file <path>` additionally
+//! writes the telemetry snapshot as Prometheus text exposition.
 
 use std::time::Instant;
 
@@ -187,6 +194,9 @@ fn main() {
         }
         if let Some(sink) = runner.attribution() {
             options.emit_attribution("full_campaign", sink);
+        }
+        if let Some(recorder) = runner.profile() {
+            options.emit_profile("full_campaign", recorder);
         }
         (protocol, e1_report, e2_report)
     };

@@ -277,6 +277,7 @@ pub struct CampaignRunner {
     progress: Option<ProgressOptions>,
     shard: Option<ShardSpec>,
     attribution: Option<Arc<AttributionSink>>,
+    profile: Option<Arc<crate::profile::ProfileRecorder>>,
 }
 
 impl CampaignRunner {
@@ -302,6 +303,7 @@ impl CampaignRunner {
             progress: None,
             shard: None,
             attribution: None,
+            profile: None,
         }
     }
 
@@ -353,6 +355,25 @@ impl CampaignRunner {
     /// The attribution sink, when enabled.
     pub fn attribution(&self) -> Option<&Arc<AttributionSink>> {
         self.attribution.as_ref()
+    }
+
+    /// Attaches a per-assertion cost recorder: every executed trial's
+    /// per-mechanism check counts are folded into it (and pruned trials
+    /// counted). Same observer contract as telemetry — results are
+    /// bit-identical with or without profiling (pinned by
+    /// `tests/profile_equivalence.rs`). Replay mode
+    /// ([`CampaignRunner::with_checkpointing`]`(false)`) does not carry
+    /// execution-shape facts, so a replay campaign leaves the recorder
+    /// empty.
+    #[must_use]
+    pub fn with_profile(mut self, recorder: Arc<crate::profile::ProfileRecorder>) -> Self {
+        self.profile = Some(recorder);
+        self
+    }
+
+    /// The attached cost recorder, if any.
+    pub fn profile(&self) -> Option<&Arc<crate::profile::ProfileRecorder>> {
+        self.profile.as_ref()
     }
 
     /// Enables or disables checkpointed trial execution (prefix
@@ -879,6 +900,7 @@ impl CampaignRunner {
                 let prune = prune.clone();
                 let analytic = self.analytic_settle;
                 let tel = tel.clone();
+                let profile = self.profile.clone();
                 scope.spawn(move || {
                     let worker_trials = tel
                         .as_ref()
@@ -933,6 +955,9 @@ impl CampaignRunner {
                                     if let Some(t) = &tel {
                                         t.observe_execution(&lane.execution);
                                     }
+                                    if let Some(pr) = &profile {
+                                        pr.record_execution(&lane.execution);
+                                    }
                                     trials[live[lane.slot]] = Some(lane.trial);
                                 }
                                 if live.len() < eis.len() {
@@ -948,6 +973,9 @@ impl CampaignRunner {
                                         if let Some(class) = class {
                                             if let Some(t) = &tel {
                                                 t.observe_prune(*class);
+                                            }
+                                            if let Some(pr) = &profile {
+                                                pr.record_prune();
                                             }
                                             trials[i] = Some((*reference).clone());
                                         }
@@ -986,6 +1014,9 @@ impl CampaignRunner {
                                                 }
                                                 t.observe_prune(class);
                                             }
+                                            if let Some(pr) = &profile {
+                                                pr.record_prune();
+                                            }
                                             (*reference).clone()
                                         } else {
                                             let (trial, execution) =
@@ -998,6 +1029,9 @@ impl CampaignRunner {
                                                 );
                                             if let Some(t) = &tel {
                                                 t.observe_execution(&execution);
+                                            }
+                                            if let Some(pr) = &profile {
+                                                pr.record_execution(&execution);
                                             }
                                             trial
                                         }

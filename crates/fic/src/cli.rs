@@ -57,13 +57,21 @@
 //!   fold them into `<out>/attribution/<producer>.json`, and append
 //!   them to the journal when one is attached;
 //! * `--no-attribution` — explicitly disable attribution (the
-//!   default; the pair of flags exists so scripts can be explicit).
+//!   default; the pair of flags exists so scripts can be explicit);
+//! * `--profile` — count every assertion check per EA during the run,
+//!   sample per-check wall clock afterwards, and write the
+//!   schema-versioned cost profile to `<out>/profile/` (see
+//!   `fic::profile`); never changes a result bit;
+//! * `--metrics-file <path>` — additionally write the end-of-campaign
+//!   telemetry snapshot as Prometheus text exposition format 0.0.4
+//!   (the same body the fleet server serves on `/metrics`).
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::attribution;
 use crate::campaign::{AttributionSink, CampaignRunner, ProgressOptions};
+use crate::profile;
 use crate::protocol::Protocol;
 use crate::telemetry;
 
@@ -119,6 +127,12 @@ pub struct CliOptions {
     /// Record assertion-level attribution events and write the
     /// aggregate report under `<out>/attribution/`.
     pub attribution: bool,
+    /// Count per-EA assertion checks and write the cost profile under
+    /// `<out>/profile/`.
+    pub profile: bool,
+    /// Also write the telemetry snapshot as Prometheus text exposition
+    /// to this file.
+    pub metrics_file: Option<PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -146,6 +160,8 @@ impl Default for CliOptions {
             telemetry_jsonl: None,
             no_telemetry: false,
             attribution: false,
+            profile: false,
+            metrics_file: None,
         }
     }
 }
@@ -166,7 +182,8 @@ impl CliOptions {
                      [--batch-size n] [--no-analytic-settle] [--no-prune] \
                      [--shard k/n] \
                      [--telemetry-jsonl file] [--no-telemetry] \
-                     [--attribution] [--no-attribution]"
+                     [--attribution] [--no-attribution] \
+                     [--profile] [--metrics-file path]"
                 );
                 std::process::exit(2);
             }
@@ -240,6 +257,10 @@ impl CliOptions {
                 "--no-telemetry" => options.no_telemetry = true,
                 "--attribution" => options.attribution = true,
                 "--no-attribution" => no_attribution = true,
+                "--profile" => options.profile = true,
+                "--metrics-file" => {
+                    options.metrics_file = Some(PathBuf::from(value("--metrics-file")?));
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -256,6 +277,9 @@ impl CliOptions {
         }
         if options.attribution && no_attribution {
             return Err("--attribution contradicts --no-attribution".to_owned());
+        }
+        if options.no_telemetry && options.metrics_file.is_some() {
+            return Err("--no-telemetry contradicts --metrics-file".to_owned());
         }
         if no_attribution {
             options.attribution = false;
@@ -293,6 +317,9 @@ impl CliOptions {
             .with_analytic_settle(!self.no_analytic_settle)
             .with_pruning(!self.no_prune)
             .with_attribution(self.attribution);
+        if self.profile {
+            runner = runner.with_profile(Arc::new(profile::ProfileRecorder::new()));
+        }
         if let Some(lanes) = self.batch_size {
             runner = runner.with_batch_size(lanes);
         }
@@ -318,6 +345,12 @@ impl CliOptions {
     pub fn emit_telemetry(&self, producer: &str, registry: &telemetry::Registry) {
         let snapshot = registry.snapshot();
         eprint!("{}", telemetry::render_summary(&snapshot));
+        if let Some(path) = &self.metrics_file {
+            match std::fs::write(path, snapshot.to_prometheus()) {
+                Ok(()) => eprintln!("metrics exposition written to {}", path.display()),
+                Err(e) => eprintln!("failed to write metrics exposition: {e}"),
+            }
+        }
         let run =
             telemetry::RunMetadata::for_run(&self.protocol(), !self.no_checkpoint, self.shard);
         let report = telemetry::TelemetryReport::assemble(producer, run, snapshot);
@@ -352,6 +385,26 @@ impl CliOptions {
         match attribution::write_report(&self.out_dir.join("attribution"), &label, &report) {
             Ok(path) => eprintln!("attribution report written to {}", path.display()),
             Err(e) => eprintln!("failed to write attribution report: {e}"),
+        }
+    }
+
+    /// End-of-campaign profile emission: samples per-check wall clock,
+    /// prints the cost league table on stderr and writes the
+    /// schema-versioned report under `<out>/profile/` (shard suffixed,
+    /// like telemetry).
+    pub fn emit_profile(&self, producer: &str, recorder: &profile::ProfileRecorder) {
+        let wall = profile::sample_wall_ns();
+        let run =
+            telemetry::RunMetadata::for_run(&self.protocol(), !self.no_checkpoint, self.shard);
+        let report = profile::ProfileReport::assemble(producer, run, recorder, Some(wall));
+        eprint!("{}", profile::render_league(&report));
+        let label = match self.shard {
+            Some((index, count)) => format!("{producer}-shard-{index}-of-{count}"),
+            None => producer.to_owned(),
+        };
+        match profile::write_report(&self.out_dir.join("profile"), &label, &report) {
+            Ok(path) => eprintln!("profile report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write profile report: {e}"),
         }
     }
 }
@@ -636,6 +689,22 @@ mod tests {
                 .attribution
         );
         assert!(CliOptions::parse(&args(&["--attribution", "--no-attribution"])).is_err());
+    }
+
+    #[test]
+    fn parses_profile_and_metrics_flags() {
+        let options = CliOptions::parse(&[]).unwrap();
+        assert!(!options.profile && options.metrics_file.is_none());
+        assert!(options.runner(None).profile().is_none());
+
+        let options =
+            CliOptions::parse(&args(&["--profile", "--metrics-file", "/tmp/m.prom"])).unwrap();
+        assert!(options.profile);
+        assert_eq!(options.metrics_file, Some(PathBuf::from("/tmp/m.prom")));
+        assert!(options.runner(None).profile().is_some());
+
+        assert!(CliOptions::parse(&args(&["--metrics-file"])).is_err());
+        assert!(CliOptions::parse(&args(&["--no-telemetry", "--metrics-file", "x"])).is_err());
     }
 
     #[test]

@@ -94,7 +94,7 @@ pub fn run_trial_recorded(
 /// facts the campaign telemetry aggregates. Separate from [`Trial`]
 /// on purpose: results are result-bearing artefacts, execution shape
 /// is observability.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TrialExecution {
     /// Simulation time at which the settle detector stopped the run,
     /// ms; `None` when the trial ran its full observation window.
@@ -109,6 +109,11 @@ pub struct TrialExecution {
     /// Milliseconds of window skipped (prefix fork + settle
     /// fast-forward).
     pub skipped_ms: u64,
+    /// Assertion checks each mechanism EA1..EA7 executed over the
+    /// trial's whole timeline (the forked fault-free prefix included —
+    /// the target system runs its assertions there too). Input to the
+    /// per-assertion cost profile; identical batched vs scalar.
+    pub ea_checks: [u64; 7],
 }
 
 /// [`run_trial`] resumed from a fault-free prefix [`arrestor::Snapshot`]
@@ -188,6 +193,7 @@ pub fn run_trial_checkpointed_observed_with(
         settle_captures: settle.captures(),
         simulated_ms: stopped_at - resumed_at,
         skipped_ms: resumed_at + protocol.observation_ms.saturating_sub(stopped_at),
+        ea_checks: system.master().detectors().check_counts(),
     };
     (finish_trial(system, period).0, execution)
 }
@@ -253,6 +259,7 @@ pub fn run_case_batch_with(
                 simulated_ms: lane.stopped_at_ms - lane.resumed_at_ms,
                 skipped_ms: lane.resumed_at_ms
                     + protocol.observation_ms.saturating_sub(lane.stopped_at_ms),
+                ea_checks: lane.system.master().detectors().check_counts(),
             };
             BatchTrial {
                 slot: lane.slot,

@@ -14,6 +14,8 @@
 //! | `/status`      | queue/lease/done counts per campaign + worker roster   |
 //! | `/telemetry`   | per-campaign merged worker telemetry + fleet counters  |
 //! | `/attribution` | per-campaign live attribution reports                  |
+//! | `/metrics`     | Prometheus text exposition of the fleet-wide snapshot  |
+//! | `/trace`       | Chrome `trace_event` JSON of the flight recorder       |
 //! | `/events`      | `text/event-stream` of `/status` documents until done  |
 
 use std::io::{BufRead, BufReader, Read, Write};
@@ -61,6 +63,31 @@ pub(super) fn handle(shared: &Arc<Shared>, stream: TcpStream) {
         "/status" => respond_json(&mut stream, "200 OK", &status_value(shared)),
         "/telemetry" => respond_json(&mut stream, "200 OK", &telemetry_value(shared)),
         "/attribution" => respond_json(&mut stream, "200 OK", &attribution_value(shared)),
+        "/metrics" => respond_text(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &metrics_exposition(shared),
+        ),
+        "/trace" => match shared.flight() {
+            Some(flight) => respond_json(
+                &mut stream,
+                "200 OK",
+                &crate::fleet::recorder::FlightLog::from_events(flight.snapshot())
+                    .to_chrome_trace(),
+            ),
+            None => respond_json(
+                &mut stream,
+                "404 Not Found",
+                &Value::Object(vec![(
+                    "error".to_owned(),
+                    Value::Str(
+                        "flight recorder disabled (start the server with --flight-recorder)"
+                            .to_owned(),
+                    ),
+                )]),
+            ),
+        },
         "/events" => serve_events(shared, &mut stream),
         _ => respond_json(
             &mut stream,
@@ -185,13 +212,34 @@ fn serve_events(shared: &Shared, stream: &mut TcpStream) {
     }
 }
 
+/// The `/metrics` body: the server's own fleet counters merged with
+/// every campaign's accepted worker telemetry, in Prometheus text
+/// exposition format 0.0.4 (the snapshot merge is additive, so the
+/// exposition reads as fleet-wide totals).
+fn metrics_exposition(shared: &Shared) -> String {
+    let views = {
+        let core = shared.core.lock().expect("no panics while holding lock");
+        core.campaign_views()
+    };
+    let mut snapshot = shared.registry().snapshot();
+    for view in views {
+        snapshot.merge(&view.telemetry);
+    }
+    snapshot.to_prometheus()
+}
+
 /// Writes a plain JSON response with `Content-Length` and closes.
 fn respond_json(stream: &mut TcpStream, status: &str, value: &Value) {
     let mut body = serde_json::to_string_pretty(value).expect("value serialises");
     body.push('\n');
+    respond_text(stream, status, "application/json", &body);
+}
+
+/// Writes a response with an explicit content type and closes.
+fn respond_text(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
     let head = format!(
         "HTTP/1.1 {status}\r\n\
-         Content-Type: application/json\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n",
         body.len()

@@ -28,6 +28,7 @@
 //! `fleet-smoke` job.
 
 pub mod http;
+pub mod recorder;
 pub mod scheduler;
 pub mod server;
 pub mod wire;
@@ -36,6 +37,7 @@ pub mod worker;
 use std::fmt;
 use std::io;
 
+pub use recorder::{FlightLog, FlightRecorder, SpanEvent, SpanKind};
 pub use scheduler::{Scheduler, SliceSpec, SliceStatus, WorkerEntry};
 pub use server::{CampaignOutcome, CampaignSpec, FleetSummary, Server, ServerOptions};
 pub use wire::{Command, FrameBuffer, FrameError, RefusalKind, Response, SliceLease, WIRE_VERSION};

@@ -35,6 +35,7 @@ use crate::telemetry::{self, TelemetrySnapshot};
 use crate::{attribution, tables};
 
 use super::http;
+use super::recorder::{FlightLog, FlightRecorder, SpanEvent, SpanKind};
 use super::scheduler::{Scheduler, SliceSpec};
 use super::wire::{
     read_frame, read_frame_after_prefix, write_frame, Command, RefusalKind, Response, SliceLease,
@@ -108,6 +109,9 @@ pub struct ServerOptions {
     pub e1_limit: usize,
     /// E2 prefix limit for the binary's campaigns (0 = full set).
     pub e2_limit: usize,
+    /// Record slice lifecycle span events (the fleet flight recorder):
+    /// serves `/trace` and writes `trace/flight_log.json` per campaign.
+    pub flight_recorder: bool,
 }
 
 impl Default for ServerOptions {
@@ -123,6 +127,7 @@ impl Default for ServerOptions {
             observation_ms: None,
             e1_limit: 0,
             e2_limit: 0,
+            flight_recorder: false,
         }
     }
 }
@@ -179,6 +184,7 @@ impl ServerOptions {
                         .parse()
                         .map_err(|e| format!("--e2-limit: {e}"))?;
                 }
+                "--flight-recorder" => options.flight_recorder = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -283,6 +289,7 @@ pub(super) struct Shared {
     worker_conns: AtomicUsize,
     start: Instant,
     registry: Arc<telemetry::Registry>,
+    flight: Option<FlightRecorder>,
     e1_by_number: HashMap<usize, E1Error>,
     e2_by_number: HashMap<usize, E2Error>,
     monitored: MonitoredMap,
@@ -291,6 +298,28 @@ pub(super) struct Shared {
 impl Shared {
     fn now_ms(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one slice transition when the flight recorder is on.
+    /// `campaign` is the slice's campaign name (resolved by the caller,
+    /// which holds the core lock and can see the spec).
+    fn record_span(
+        &self,
+        at_ms: u64,
+        campaign: &str,
+        slice_id: u64,
+        kind: SpanKind,
+        worker: Option<u64>,
+    ) {
+        if let Some(flight) = &self.flight {
+            flight.record(SpanEvent {
+                at_ms,
+                campaign: campaign.to_owned(),
+                slice_id,
+                kind,
+                worker,
+            });
+        }
     }
 }
 
@@ -345,7 +374,20 @@ impl Server {
             states.push(state);
         }
 
+        // Capture the queue before Shared owns the scheduler: each
+        // pending slice becomes an Enqueued span at logical t = 0.
+        let enqueued: Vec<(u64, String)> = {
+            let (pending, leased, done) = scheduler.counts();
+            (0..(pending + leased + done) as u64)
+                .filter_map(|id| {
+                    scheduler
+                        .spec(id)
+                        .map(|spec| (id, states[spec.campaign].spec.name.clone()))
+                })
+                .collect()
+        };
         let shared = Arc::new(Shared {
+            flight: options.flight_recorder.then(FlightRecorder::new),
             options,
             core: Mutex::new(Core {
                 scheduler,
@@ -359,6 +401,9 @@ impl Server {
             e2_by_number,
             monitored,
         });
+        for (slice_id, campaign) in enqueued {
+            shared.record_span(0, &campaign, slice_id, SpanKind::Enqueued, None);
+        }
 
         // A fully-recorded journal leaves a campaign with no slices:
         // finalize it now so `--once` with nothing to do still writes
@@ -541,7 +586,7 @@ fn queue_slices(scheduler: &mut Scheduler, campaign: usize, state: &CampaignStat
 fn finalize_ready(shared: &Shared, core: &mut Core) {
     for ci in 0..core.campaigns.len() {
         if core.scheduler.campaign_done(ci) && !core.campaigns[ci].finalized {
-            if let Err(e) = finalize_campaign(&mut core.campaigns[ci]) {
+            if let Err(e) = finalize_campaign(&mut core.campaigns[ci], shared.flight.as_ref()) {
                 eprintln!(
                     "fleet_server: finalizing campaign `{}` failed: {e}",
                     core.campaigns[ci].spec.name
@@ -556,10 +601,10 @@ fn finalize_ready(shared: &Shared, core: &mut Core) {
 }
 
 /// Writes one finished campaign's artefacts: the JSON reports, Tables
-/// 6–9, the merged telemetry report and the attribution report —
-/// the same layout `full_campaign` produces, nested under the
-/// campaign's name.
-fn finalize_campaign(state: &mut CampaignState) -> io::Result<()> {
+/// 6–9, the merged telemetry report, the attribution report and (when
+/// the flight recorder is on) the canonical flight log — the same
+/// layout `full_campaign` produces, nested under the campaign's name.
+fn finalize_campaign(state: &mut CampaignState, flight: Option<&FlightRecorder>) -> io::Result<()> {
     state.journal.sync()?;
     std::fs::create_dir_all(&state.out_dir)?;
     std::fs::write(
@@ -603,6 +648,13 @@ fn finalize_campaign(state: &mut CampaignState) -> io::Result<()> {
         "fleet_server",
         &attribution_report,
     )?;
+    if let Some(flight) = flight {
+        let log = FlightLog::from_events(flight.snapshot()).for_campaign(&state.spec.name);
+        let dir = state.out_dir.join("trace");
+        std::fs::create_dir_all(&dir)?;
+        let json = serde_json::to_string_pretty(&log).expect("flight log serialises");
+        std::fs::write(dir.join("flight_log.json"), format!("{json}\n"))?;
+    }
     Ok(())
 }
 
@@ -703,8 +755,16 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream, prefix: [u8; 4]) {
                 // the worker, so they never get a response frame.
                 let now = shared.now_ms();
                 let mut core = shared.core.lock().expect("no panics while holding lock");
-                if claimed == worker_id {
-                    core.scheduler.heartbeat(worker_id, slice_id, now);
+                if claimed == worker_id && core.scheduler.heartbeat(worker_id, slice_id, now) {
+                    if let Some(name) = core.campaign_name_of(slice_id) {
+                        shared.record_span(
+                            now,
+                            &name,
+                            slice_id,
+                            SpanKind::HeartbeatExtended,
+                            Some(worker_id),
+                        );
+                    }
                 }
                 drop(core);
                 shared.registry.counter("fleet.heartbeats").inc();
@@ -727,8 +787,14 @@ fn serve_worker(shared: &Shared, mut stream: TcpStream, prefix: [u8; 4]) {
         }
     }
 
+    let now = shared.now_ms();
     let mut core = shared.core.lock().expect("no panics while holding lock");
     let released = core.scheduler.release_worker(worker_id);
+    for &slice_id in &released {
+        if let Some(name) = core.campaign_name_of(slice_id) {
+            shared.record_span(now, &name, slice_id, SpanKind::Reassigned, Some(worker_id));
+        }
+    }
     drop(core);
     if !released.is_empty() {
         shared
@@ -747,6 +813,14 @@ fn handle_lease(shared: &Shared, worker_id: u64, claimed: u64) -> Response {
     }
     let now = shared.now_ms();
     let mut core = shared.core.lock().expect("no panics while holding lock");
+    // Expire lapsed leases explicitly (lease() would do it anyway) so
+    // heartbeat-timeout reassignments land in the flight log; the old
+    // holder is unknown by the time the lease lapses.
+    for slice_id in core.scheduler.expire(now) {
+        if let Some(name) = core.campaign_name_of(slice_id) {
+            shared.record_span(now, &name, slice_id, SpanKind::Reassigned, None);
+        }
+    }
     match core.scheduler.lease(worker_id, now) {
         Some((slice_id, spec)) => {
             let campaign = &core.campaigns[spec.campaign];
@@ -759,6 +833,13 @@ fn handle_lease(shared: &Shared, worker_id: u64, claimed: u64) -> Response {
                 error_numbers: spec.error_numbers,
             };
             drop(core);
+            shared.record_span(
+                now,
+                &slice.campaign,
+                slice_id,
+                SpanKind::Leased,
+                Some(worker_id),
+            );
             shared.registry.counter("fleet.slices.leased").inc();
             Response::Lease { slice }
         }
@@ -804,11 +885,27 @@ fn handle_result(
             message: format!("records do not match the lease of slice {slice_id}"),
         };
     }
+    let now = shared.now_ms();
+    let campaign_name = core.campaigns[spec.campaign].spec.name.clone();
     if !core.scheduler.complete(worker_id, slice_id) {
         drop(core);
+        shared.record_span(
+            now,
+            &campaign_name,
+            slice_id,
+            SpanKind::Deduped,
+            Some(worker_id),
+        );
         shared.registry.counter("fleet.results.duplicate").inc();
         return Response::ResultAck { accepted: false };
     }
+    shared.record_span(
+        now,
+        &campaign_name,
+        slice_id,
+        SpanKind::Submitted,
+        Some(worker_id),
+    );
     let state = &mut core.campaigns[spec.campaign];
     for record in &records {
         let key = (record.campaign, record.error_number, record.case_index);
@@ -827,6 +924,13 @@ fn handle_result(
         }
     }
     state.telemetry.merge(&telemetry);
+    shared.record_span(
+        shared.now_ms(),
+        &campaign_name,
+        slice_id,
+        SpanKind::Folded,
+        Some(worker_id),
+    );
     finalize_ready(shared, &mut core);
     drop(core);
     shared.registry.counter("fleet.slices.completed").inc();
@@ -844,11 +948,23 @@ impl Shared {
     pub(super) fn registry(&self) -> &Arc<telemetry::Registry> {
         &self.registry
     }
+
+    /// The flight recorder, when `--flight-recorder` is on.
+    pub(super) fn flight(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
 }
 
 impl Core {
     pub(super) fn scheduler(&self) -> &Scheduler {
         &self.scheduler
+    }
+
+    /// The campaign name a slice belongs to (for span events).
+    fn campaign_name_of(&self, slice_id: u64) -> Option<String> {
+        self.scheduler
+            .spec(slice_id)
+            .map(|spec| self.campaigns[spec.campaign].spec.name.clone())
     }
 
     pub(super) fn campaign_views(&self) -> Vec<CampaignView> {

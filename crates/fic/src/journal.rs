@@ -47,6 +47,11 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Default number of records appended between `fsync`s.
 pub const DEFAULT_BATCH_SIZE: usize = 16;
 
+/// Flush latency above which a sync counts as a stall (µs): a batched
+/// `fsync` on a healthy local disk finishes in well under 50 ms, so a
+/// flush that takes longer means the campaign disk is backing up.
+pub const DEFAULT_STALL_THRESHOLD_US: u64 = 250_000;
+
 /// Which campaign a trial belongs to (E1 and E2 number their errors
 /// independently, both from 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -173,6 +178,7 @@ pub struct JournalTelemetry {
     batch_records: std::sync::Arc<telemetry::Histogram>,
     bytes_written: std::sync::Arc<telemetry::Counter>,
     appends: std::sync::Arc<telemetry::Counter>,
+    flush_stalls: std::sync::Arc<telemetry::Counter>,
 }
 
 impl JournalTelemetry {
@@ -185,6 +191,7 @@ impl JournalTelemetry {
                 .histogram("journal.batch_records", &telemetry::small_count_bounds()),
             bytes_written: registry.counter("journal.bytes_written"),
             appends: registry.counter("journal.appends"),
+            flush_stalls: registry.counter("journal.flush_stalls"),
         }
     }
 }
@@ -198,6 +205,8 @@ pub struct JournalWriter {
     unsynced: usize,
     batch_size: usize,
     telemetry: Option<JournalTelemetry>,
+    stall_threshold_us: u64,
+    stalls_warned: u64,
 }
 
 impl JournalWriter {
@@ -238,6 +247,8 @@ impl JournalWriter {
             unsynced: 0,
             batch_size: DEFAULT_BATCH_SIZE,
             telemetry: None,
+            stall_threshold_us: DEFAULT_STALL_THRESHOLD_US,
+            stalls_warned: 0,
         };
         let header = JournalHeader {
             format_version: FORMAT_VERSION,
@@ -297,6 +308,8 @@ impl JournalWriter {
             unsynced: 0,
             batch_size: DEFAULT_BATCH_SIZE,
             telemetry: None,
+            stall_threshold_us: DEFAULT_STALL_THRESHOLD_US,
+            stalls_warned: 0,
         })
     }
 
@@ -311,6 +324,21 @@ impl JournalWriter {
     pub fn with_telemetry(mut self, telemetry: JournalTelemetry) -> Self {
         self.telemetry = Some(telemetry);
         self
+    }
+
+    /// Sets the flush-latency threshold (µs) above which a sync counts
+    /// as a stall: `journal.flush_stalls` is bumped and the first few
+    /// stalls warn on stderr so a backing-up campaign disk is visible
+    /// instead of silent. Only observed when telemetry is attached.
+    #[must_use]
+    pub fn stall_threshold_us(mut self, threshold_us: u64) -> Self {
+        self.stall_threshold_us = threshold_us;
+        self
+    }
+
+    /// Total syncs that exceeded the stall threshold so far.
+    pub fn flush_stalls(&self) -> u64 {
+        self.telemetry.as_ref().map_or(0, |t| t.flush_stalls.get())
     }
 
     /// Appends one attribution event; flushes and syncs when the batch
@@ -375,10 +403,10 @@ impl JournalWriter {
     ///
     /// Any filesystem failure.
     pub fn sync(&mut self) -> io::Result<()> {
-        let span = self.telemetry.as_ref().map(|t| {
+        let start = self.telemetry.as_ref().map(|t| {
             t.batch_records.record(self.unsynced as u64);
             t.bytes_written.add(self.buffer.len() as u64);
-            telemetry::SpanTimer::start(std::sync::Arc::clone(&t.flush_latency_us))
+            std::time::Instant::now()
         });
         if !self.buffer.is_empty() {
             self.file.write_all(self.buffer.as_bytes())?;
@@ -386,7 +414,25 @@ impl JournalWriter {
         }
         self.file.sync_data()?;
         self.unsynced = 0;
-        drop(span);
+        if let (Some(start), Some(t)) = (start, self.telemetry.as_ref()) {
+            let elapsed_us = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+            t.flush_latency_us.record(elapsed_us);
+            if elapsed_us > self.stall_threshold_us {
+                t.flush_stalls.inc();
+                // Warn loudly the first few times, then stay quiet —
+                // the counter keeps the full tally for telemetry.
+                if self.stalls_warned < 3 {
+                    self.stalls_warned += 1;
+                    eprintln!(
+                        "warning: journal flush stalled for {elapsed_us} µs \
+                         (threshold {} µs) — campaign disk may be backing up \
+                         (stall #{} this writer)",
+                        self.stall_threshold_us,
+                        t.flush_stalls.get(),
+                    );
+                }
+            }
+        }
         Ok(())
     }
 
@@ -841,6 +887,40 @@ mod tests {
         let (e1, e2) = journal.replay().unwrap();
         assert_eq!(e1.trials(), 1);
         assert_eq!(e2.trials(), 1);
+    }
+
+    #[test]
+    fn flush_stall_watchdog_counts_slow_syncs() {
+        let path = temp_path("stalls");
+        let protocol = Protocol::scaled(1, 1_000);
+        let registry = telemetry::Registry::new();
+        // Threshold 0 µs: every timed sync is a "stall", so the
+        // watchdog path runs without needing a genuinely slow disk.
+        let mut writer = JournalWriter::create(&path, &protocol)
+            .unwrap()
+            .with_telemetry(JournalTelemetry::register(&registry))
+            .stall_threshold_us(0);
+        writer
+            .append(CampaignKind::E1, 1, 0, &sample_trial(None))
+            .unwrap();
+        writer.sync().unwrap();
+        assert!(writer.flush_stalls() >= 1);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counters.get("journal.flush_stalls").copied(),
+            Some(writer.flush_stalls())
+        );
+
+        // A sane threshold on a healthy disk records no stalls.
+        let calm_registry = telemetry::Registry::new();
+        let mut calm = JournalWriter::create(&temp_path("calm"), &protocol)
+            .unwrap()
+            .with_telemetry(JournalTelemetry::register(&calm_registry))
+            .stall_threshold_us(u64::MAX);
+        calm.append(CampaignKind::E1, 1, 0, &sample_trial(None))
+            .unwrap();
+        calm.sync().unwrap();
+        assert_eq!(calm.flush_stalls(), 0);
     }
 
     #[test]

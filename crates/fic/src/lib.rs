@@ -55,6 +55,7 @@ pub mod figures;
 pub mod fleet;
 pub mod golden;
 pub mod journal;
+pub mod profile;
 pub mod protocol;
 pub mod prune;
 pub mod recovery_study;
@@ -76,6 +77,7 @@ pub use experiment::{
 };
 pub use fleet::{FleetError, FleetSummary, Server, ServerOptions, WorkerOptions, WorkerSummary};
 pub use journal::{CampaignKind, Journal, JournalError, JournalWriter, ShardSpec, TrialRecord};
+pub use profile::{ProfileRecorder, ProfileReport};
 pub use protocol::Protocol;
 pub use prune::{InertMap, PruneCache, PruneClass};
 pub use results::{E1Report, E2Report, SignalRow};

@@ -339,3 +339,84 @@ proptest! {
         prop_assert_eq!(buffer.mid_frame(), cut != consumed);
     }
 }
+
+/// Spins a server (optionally with the flight recorder) and returns its
+/// address; the serve loop runs on a detached thread.
+fn spin_http_server(tag: &str, flight_recorder: bool) -> std::net::SocketAddr {
+    let dir = std::env::temp_dir().join(format!("fic-fleet-http-{tag}-{}", std::process::id()));
+    let options = ServerOptions {
+        listen: "127.0.0.1:0".to_owned(),
+        out_dir: dir.clone(),
+        journal_dir: Some(dir),
+        flight_recorder,
+        ..ServerOptions::default()
+    };
+    let spec = CampaignSpec::with_limits("wire", Protocol::scaled(2, 500), 1, 0);
+    let server = Server::bind(options, vec![spec]).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::spawn(move || server.run());
+    addr
+}
+
+/// Issues a raw HTTP GET and returns the full response text.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: fleet\r\n\r\n").as_bytes())
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+/// Pins the `/metrics` response shape: the 200 status line, the
+/// Prometheus content type (scrapers dispatch on it), and an
+/// exposition body that parses back into a telemetry snapshot.
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let addr = spin_http_server("metrics", false);
+    let response = http_get(addr, "/metrics");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    assert!(
+        head.starts_with("HTTP/1.1 200 OK\r\n"),
+        "status line pinned: {head}"
+    );
+    assert!(
+        head.contains("Content-Type: text/plain; version=0.0.4"),
+        "Prometheus content type pinned: {head}"
+    );
+    let snapshot = TelemetrySnapshot::from_prometheus(body).expect("body is valid exposition");
+    assert_eq!(snapshot.to_prometheus(), body, "exposition round-trips");
+}
+
+/// Pins the `/trace` response shape in both server configurations:
+/// with `--flight-recorder` it is Chrome `trace_event` JSON; without,
+/// a 404 naming the flag that would enable it.
+#[test]
+fn trace_endpoint_serves_chrome_trace_or_a_typed_404() {
+    let addr = spin_http_server("trace-on", true);
+    let response = http_get(addr, "/trace");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    assert!(
+        head.starts_with("HTTP/1.1 200 OK\r\n"),
+        "status line pinned: {head}"
+    );
+    assert!(head.contains("Content-Type: application/json"));
+    assert!(
+        body.contains("traceEvents"),
+        "Chrome trace envelope pinned: {body}"
+    );
+
+    let addr = spin_http_server("trace-off", false);
+    let response = http_get(addr, "/trace");
+    let (head, body) = response.split_once("\r\n\r\n").unwrap();
+    assert!(
+        head.starts_with("HTTP/1.1 404 Not Found\r\n"),
+        "status line pinned: {head}"
+    );
+    assert!(
+        body.contains("--flight-recorder"),
+        "the 404 must name the enabling flag: {body}"
+    );
+}
