@@ -52,6 +52,15 @@
 //! with the attribution report via the `detox_report` binary for the
 //! coverage-per-op Pareto table. `--metrics-file <path>` additionally
 //! writes the telemetry snapshot as Prometheus text exposition.
+//!
+//! Convergence: `--convergence-jsonl <file>` streams periodic per-cell
+//! Wilson-CI coverage snapshots while the campaign runs, and
+//! `--precision-report` prints the advisory "trials remaining to reach
+//! ±δ" forecast at the end. Either flag also writes the
+//! schema-versioned convergence report under `<out>/convergence/`.
+//! With `--from-journal` the report is re-derived from the journaled
+//! trials alone. Like telemetry, convergence never changes a result
+//! bit.
 
 use std::time::Instant;
 
@@ -98,6 +107,36 @@ fn main() {
             ) {
                 Ok(path) => eprintln!("attribution report written to {}", path.display()),
                 Err(e) => eprintln!("failed to write attribution report: {e}"),
+            }
+        }
+        if options.convergence_enabled() {
+            let aggregate = fic::convergence::aggregate_journal(&journal)
+                .expect("journal matches the paper error sets");
+            let delta = fic::convergence::DEFAULT_DELTA;
+            if options.precision_report {
+                eprint!(
+                    "{}",
+                    fic::convergence::render_coverage(&aggregate.coverage("full_campaign", delta))
+                );
+            }
+            let run = fic::telemetry::RunMetadata::for_run(&journal.header.protocol, true, None);
+            let report = fic::convergence::ConvergenceReport::assemble(
+                "full_campaign",
+                run,
+                aggregate,
+                delta,
+            );
+            let label = path.file_stem().map_or_else(
+                || "full_campaign".to_owned(),
+                |s| s.to_string_lossy().into_owned(),
+            );
+            match fic::convergence::write_report(
+                &options.out_dir.join("convergence"),
+                &label,
+                &report,
+            ) {
+                Ok(path) => eprintln!("convergence report written to {}", path.display()),
+                Err(e) => eprintln!("failed to write convergence report: {e}"),
             }
         }
         (journal.header.protocol, e1, e2)
@@ -197,6 +236,9 @@ fn main() {
         }
         if let Some(recorder) = runner.profile() {
             options.emit_profile("full_campaign", recorder);
+        }
+        if let Some(sink) = runner.convergence() {
+            options.emit_convergence("full_campaign", sink);
         }
         (protocol, e1_report, e2_report)
     };

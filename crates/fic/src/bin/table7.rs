@@ -46,6 +46,9 @@ fn main() {
         if let Some(sink) = runner.attribution() {
             options.emit_attribution("table7", sink);
         }
+        if let Some(sink) = runner.convergence() {
+            options.emit_convergence("table7", sink);
+        }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         let path = options.out_dir.join("e1.json");
         std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())

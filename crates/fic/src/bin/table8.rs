@@ -39,6 +39,9 @@ fn main() {
         if let Some(sink) = runner.attribution() {
             options.emit_attribution("table8", sink);
         }
+        if let Some(sink) = runner.convergence() {
+            options.emit_convergence("table8", sink);
+        }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         std::fs::write(
             options.out_dir.join("e1.json"),

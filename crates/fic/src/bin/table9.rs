@@ -38,6 +38,9 @@ fn main() {
         if let Some(sink) = runner.attribution() {
             options.emit_attribution("table9", sink);
         }
+        if let Some(sink) = runner.convergence() {
+            options.emit_convergence("table9", sink);
+        }
         std::fs::create_dir_all(&options.out_dir).expect("create out dir");
         let path = options.out_dir.join("e2.json");
         std::fs::write(&path, serde_json::to_string_pretty(&report).unwrap())

@@ -32,6 +32,13 @@
 //!   ([`fic::attribution::check_algebra`]); with `--journal`, also
 //!   verify the report's aggregate is exactly what the journal
 //!   re-derives (attribution must be a pure function of the trials);
+//! * `--convergence <file>` — parse a `results/convergence/*.json`
+//!   report, run its structural validation
+//!   ([`fic::convergence::ConvergenceReport::validate`]: cell
+//!   conservation, Wilson intervals and forecasts re-derive exactly
+//!   from the aggregate); with `--journal`, also verify the report's
+//!   aggregate is exactly what the journal re-derives (convergence is
+//!   a pure function of the journaled trials);
 //! * `--metrics <file>` — parse a Prometheus text exposition written
 //!   by `--metrics-file` (or fetched from the fleet `/metrics`
 //!   endpoint), re-render it, and require the round-trip to be exact
@@ -47,6 +54,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use fic::attribution::{self, AttributionReport};
+use fic::convergence::{self, ConvergenceReport};
 use fic::journal::Journal;
 use fic::telemetry::{ProgressEvent, TelemetryReport, SCHEMA_VERSION};
 use fic::{InertMap, PruneClass};
@@ -54,7 +62,7 @@ use fic::{InertMap, PruneClass};
 fn usage() -> ! {
     eprintln!(
         "usage: telemetry_check [--report file] [--jsonl file] [--journal file] \
-         [--shards n] [--attribution file] [--metrics file]"
+         [--shards n] [--attribution file] [--convergence file] [--metrics file]"
     );
     std::process::exit(2);
 }
@@ -64,6 +72,7 @@ fn main() -> ExitCode {
     let mut jsonl_path: Option<PathBuf> = None;
     let mut journal_path: Option<PathBuf> = None;
     let mut attribution_path: Option<PathBuf> = None;
+    let mut convergence_path: Option<PathBuf> = None;
     let mut metrics_path: Option<PathBuf> = None;
     let mut shards = 1usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +89,7 @@ fn main() -> ExitCode {
             "--jsonl" => jsonl_path = Some(PathBuf::from(value("--jsonl"))),
             "--journal" => journal_path = Some(PathBuf::from(value("--journal"))),
             "--attribution" => attribution_path = Some(PathBuf::from(value("--attribution"))),
+            "--convergence" => convergence_path = Some(PathBuf::from(value("--convergence"))),
             "--metrics" => metrics_path = Some(PathBuf::from(value("--metrics"))),
             "--shards" => {
                 shards = value("--shards").parse().unwrap_or_else(|e| {
@@ -97,12 +107,19 @@ fn main() -> ExitCode {
     if report_path.is_none()
         && jsonl_path.is_none()
         && attribution_path.is_none()
+        && convergence_path.is_none()
         && metrics_path.is_none()
     {
         usage();
     }
-    if journal_path.is_some() && report_path.is_none() && attribution_path.is_none() {
-        eprintln!("--journal cross-checks a report; it needs --report or --attribution");
+    if journal_path.is_some()
+        && report_path.is_none()
+        && attribution_path.is_none()
+        && convergence_path.is_none()
+    {
+        eprintln!(
+            "--journal cross-checks a report; it needs --report, --attribution or --convergence"
+        );
         return ExitCode::from(2);
     }
 
@@ -207,6 +224,40 @@ fn main() -> ExitCode {
                 ),
                 Err(e) => {
                     eprintln!("attribution {}: JOURNAL MISMATCH: {e}", path.display());
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &convergence_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let report: ConvergenceReport = serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!(
+                "{} does not parse as a convergence report: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        });
+        match report.validate() {
+            Ok(()) => println!("convergence {}: schema ok", path.display()),
+            Err(e) => {
+                eprintln!("convergence {}: INVALID: {e}", path.display());
+                failures += 1;
+            }
+        }
+        if let Some(journal_path) = &journal_path {
+            match check_convergence_against_journal(&report, journal_path) {
+                Ok(trials) => println!(
+                    "convergence {}: aggregate re-derives exactly from {} journaled trial(s)",
+                    path.display(),
+                    trials
+                ),
+                Err(e) => {
+                    eprintln!("convergence {}: JOURNAL MISMATCH: {e}", path.display());
                     failures += 1;
                 }
             }
@@ -447,6 +498,29 @@ fn check_prune_counters(
 /// verdicts persisted in the journal overlay the derived events, so an
 /// enriched journal still matches a report produced alongside it only
 /// if the report saw the same enrichment; CI pairs fresh artefacts.
+/// The convergence report's aggregate equals what the journal's trial
+/// records re-derive — the estimator is a pure function of the trials,
+/// so any difference means the report and journal are not from the
+/// same campaign (or one of them was tampered with).
+fn check_convergence_against_journal(
+    report: &ConvergenceReport,
+    path: &std::path::Path,
+) -> Result<u64, String> {
+    let journal = Journal::load(path).map_err(|e| e.to_string())?;
+    let derived = convergence::aggregate_journal(&journal).map_err(|e| e.to_string())?;
+    if derived != report.aggregate {
+        return Err(format!(
+            "journal re-derives {} E1 + {} E2 trials but the report aggregates \
+             {} + {}; the aggregates differ",
+            derived.e1_trials(),
+            derived.e2_trials(),
+            report.aggregate.e1_trials(),
+            report.aggregate.e2_trials()
+        ));
+    }
+    Ok(derived.trials())
+}
+
 fn check_attribution_against_journal(
     report: &AttributionReport,
     path: &std::path::Path,

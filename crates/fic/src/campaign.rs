@@ -30,6 +30,7 @@ use crossbeam::channel;
 use simenv::TestCase;
 
 use crate::attribution::{AttributionAggregate, AttributionEvent, MonitoredMap};
+use crate::convergence::{CellKey, ConvergenceAggregate};
 use crate::error_set::{E1Error, E2Error};
 use crate::experiment::{
     fault_free_prefix, run_case_batch_with, run_trial, run_trial_checkpointed_observed_with, Trial,
@@ -244,6 +245,105 @@ impl AttributionSink {
     }
 }
 
+/// Folds per-trial detection outcomes into a shared
+/// [`ConvergenceAggregate`] — the live coverage-convergence monitor —
+/// and optionally streams periodic [`crate::convergence::CampaignCoverage`]
+/// snapshot lines to a JSONL file (`--convergence-jsonl`).
+///
+/// Same observer contract as the attribution sink: the fold reads only
+/// data the collector already holds (the error's cell key and the
+/// trial's All-version detection bit), so enabling it cannot perturb a
+/// single bit of any journal, table, attribution or telemetry artefact
+/// (pinned by `tests/convergence_equivalence.rs`). Snapshot-line
+/// writes are best-effort — a full disk degrades the stream, never the
+/// campaign.
+#[derive(Debug)]
+pub struct ConvergenceSink {
+    aggregate: Mutex<ConvergenceAggregate>,
+    label: String,
+    delta: f64,
+    stream: Option<Mutex<std::fs::File>>,
+    stream_every: u64,
+}
+
+impl Default for ConvergenceSink {
+    fn default() -> Self {
+        ConvergenceSink::new()
+    }
+}
+
+impl ConvergenceSink {
+    /// An empty sink with the default ±δ forecast target and no
+    /// snapshot stream.
+    pub fn new() -> Self {
+        ConvergenceSink {
+            aggregate: Mutex::new(ConvergenceAggregate::new()),
+            label: "campaign".to_owned(),
+            delta: crate::convergence::DEFAULT_DELTA,
+            stream: None,
+            stream_every: 64,
+        }
+    }
+
+    /// Names the coverage views this sink emits (snapshot lines and
+    /// the final report both carry it).
+    #[must_use]
+    pub fn with_label(mut self, label: &str) -> Self {
+        self.label = label.to_owned();
+        self
+    }
+
+    /// Streams a [`crate::convergence::CampaignCoverage`] snapshot
+    /// line to `file` every `every` folded trials (0 keeps the default
+    /// of 64).
+    #[must_use]
+    pub fn with_stream(mut self, file: std::fs::File, every: u64) -> Self {
+        self.stream = Some(Mutex::new(file));
+        self.stream_every = if every == 0 { 64 } else { every };
+        self
+    }
+
+    /// The forecast's half-width target.
+    pub const fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// Folds one completed trial into its table cell.
+    pub fn record(&self, key: CellKey, trial: &Trial) {
+        let coverage = {
+            let mut aggregate = self.aggregate.lock().expect("no panics while holding lock");
+            aggregate.record(key, trial.detected(arrestor::EaSet::ALL));
+            (aggregate.trials().is_multiple_of(self.stream_every) && self.stream.is_some())
+                .then(|| aggregate.coverage(&self.label, self.delta))
+        };
+        if let Some(coverage) = coverage {
+            self.write_snapshot(&coverage);
+        }
+    }
+
+    /// A copy of the aggregate folded so far.
+    pub fn snapshot(&self) -> ConvergenceAggregate {
+        *self.aggregate.lock().expect("no panics while holding lock")
+    }
+
+    /// Writes one final snapshot line (end-of-campaign flush).
+    pub fn flush_stream(&self) {
+        if self.stream.is_some() {
+            let coverage = self.snapshot().coverage(&self.label, self.delta);
+            self.write_snapshot(&coverage);
+        }
+    }
+
+    fn write_snapshot(&self, coverage: &crate::convergence::CampaignCoverage) {
+        use std::io::Write;
+        if let Some(stream) = &self.stream {
+            let line = serde_json::to_string(coverage).expect("coverage serialises");
+            let mut file = stream.lock().expect("no panics while holding lock");
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
 /// Live-progress configuration for [`CampaignRunner::with_progress`].
 #[derive(Debug, Clone, Default)]
 pub struct ProgressOptions {
@@ -278,6 +378,7 @@ pub struct CampaignRunner {
     shard: Option<ShardSpec>,
     attribution: Option<Arc<AttributionSink>>,
     profile: Option<Arc<crate::profile::ProfileRecorder>>,
+    convergence: Option<Arc<ConvergenceSink>>,
 }
 
 impl CampaignRunner {
@@ -304,6 +405,7 @@ impl CampaignRunner {
             shard: None,
             attribution: None,
             profile: None,
+            convergence: None,
         }
     }
 
@@ -374,6 +476,23 @@ impl CampaignRunner {
     /// The attached cost recorder, if any.
     pub fn profile(&self) -> Option<&Arc<crate::profile::ProfileRecorder>> {
         self.profile.as_ref()
+    }
+
+    /// Attaches a coverage-convergence monitor: every completed trial
+    /// (live, replayed on `--resume`, or pruned-and-shared) folds its
+    /// All-version detection bit into the sink's per-cell Wilson
+    /// estimators. Same observer contract as telemetry and the cost
+    /// profiler — results are bit-identical with or without the
+    /// monitor (pinned by `tests/convergence_equivalence.rs`).
+    #[must_use]
+    pub fn with_convergence(mut self, sink: Arc<ConvergenceSink>) -> Self {
+        self.convergence = Some(sink);
+        self
+    }
+
+    /// The attached convergence monitor, if any.
+    pub fn convergence(&self) -> Option<&Arc<ConvergenceSink>> {
+        self.convergence.as_ref()
     }
 
     /// Enables or disables checkpointed trial execution (prefix
@@ -652,6 +771,9 @@ impl CampaignRunner {
                 if let Some((sink, map)) = &attribution {
                     sink.record(&errors[idx].attribution_event(case_index, trial, map));
                 }
+                if let Some(sink) = &self.convergence {
+                    sink.record(errors[idx].convergence_key(), trial);
+                }
             },
         )?;
         self.execute(
@@ -689,6 +811,9 @@ impl CampaignRunner {
                 report.record(&errors[idx], trial);
                 if let Some((sink, map)) = &attribution {
                     sink.record(&errors[idx].attribution_event(case_index, trial, map));
+                }
+                if let Some(sink) = &self.convergence {
+                    sink.record(errors[idx].convergence_key(), trial);
                 }
             },
         )?;
@@ -1070,6 +1195,9 @@ impl CampaignRunner {
                     sink.record(&event);
                     event
                 });
+                if let Some(sink) = &self.convergence {
+                    sink.record(error.convergence_key(), &trial);
+                }
                 if let Some(t) = &tel {
                     t.trials.inc();
                 }
@@ -1147,6 +1275,9 @@ pub trait InjectableError {
         trial: &Trial,
         map: &MonitoredMap,
     ) -> AttributionEvent;
+    /// Which convergence-estimator cell this error's trials land in
+    /// (an E1 error names its signal row, an E2 error its region).
+    fn convergence_key(&self) -> CellKey;
 }
 
 impl InjectableError for E1Error {
@@ -1164,6 +1295,9 @@ impl InjectableError for E1Error {
     ) -> AttributionEvent {
         AttributionEvent::for_e1(self, case_index, trial)
     }
+    fn convergence_key(&self) -> CellKey {
+        CellKey::Signal(self.ea.index())
+    }
 }
 
 impl InjectableError for E2Error {
@@ -1180,6 +1314,9 @@ impl InjectableError for E2Error {
         map: &MonitoredMap,
     ) -> AttributionEvent {
         AttributionEvent::for_e2(self, case_index, trial, map)
+    }
+    fn convergence_key(&self) -> CellKey {
+        CellKey::Region(self.flip.region)
     }
 }
 

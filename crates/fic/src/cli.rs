@@ -64,13 +64,22 @@
 //!   `fic::profile`); never changes a result bit;
 //! * `--metrics-file <path>` — additionally write the end-of-campaign
 //!   telemetry snapshot as Prometheus text exposition format 0.0.4
-//!   (the same body the fleet server serves on `/metrics`).
+//!   (the same body the fleet server serves on `/metrics`);
+//! * `--convergence-jsonl <file>` — enable the coverage-convergence
+//!   monitor (`fic::convergence`) and append periodic per-cell
+//!   Wilson-CI snapshot lines to `file`; also writes the final report
+//!   under `<out>/convergence/`; never changes a result bit;
+//! * `--precision-report` — enable the convergence monitor and print
+//!   the advisory end-of-campaign precision summary (per-cell interval
+//!   half-widths and trials-remaining forecast) on stderr; also writes
+//!   the report under `<out>/convergence/`.
 
 use std::path::PathBuf;
 use std::sync::Arc;
 
 use crate::attribution;
-use crate::campaign::{AttributionSink, CampaignRunner, ProgressOptions};
+use crate::campaign::{AttributionSink, CampaignRunner, ConvergenceSink, ProgressOptions};
+use crate::convergence;
 use crate::profile;
 use crate::protocol::Protocol;
 use crate::telemetry;
@@ -133,6 +142,12 @@ pub struct CliOptions {
     /// Also write the telemetry snapshot as Prometheus text exposition
     /// to this file.
     pub metrics_file: Option<PathBuf>,
+    /// Stream periodic coverage-convergence snapshots (per-cell Wilson
+    /// CIs) to this JSONL file; implies the convergence monitor.
+    pub convergence_jsonl: Option<PathBuf>,
+    /// Print the advisory precision forecast at the end of the run;
+    /// implies the convergence monitor.
+    pub precision_report: bool,
 }
 
 impl Default for CliOptions {
@@ -162,6 +177,8 @@ impl Default for CliOptions {
             attribution: false,
             profile: false,
             metrics_file: None,
+            convergence_jsonl: None,
+            precision_report: false,
         }
     }
 }
@@ -183,7 +200,8 @@ impl CliOptions {
                      [--shard k/n] \
                      [--telemetry-jsonl file] [--no-telemetry] \
                      [--attribution] [--no-attribution] \
-                     [--profile] [--metrics-file path]"
+                     [--profile] [--metrics-file path] \
+                     [--convergence-jsonl file] [--precision-report]"
                 );
                 std::process::exit(2);
             }
@@ -261,6 +279,10 @@ impl CliOptions {
                 "--metrics-file" => {
                     options.metrics_file = Some(PathBuf::from(value("--metrics-file")?));
                 }
+                "--convergence-jsonl" => {
+                    options.convergence_jsonl = Some(PathBuf::from(value("--convergence-jsonl")?));
+                }
+                "--precision-report" => options.precision_report = true,
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -319,6 +341,18 @@ impl CliOptions {
             .with_attribution(self.attribution);
         if self.profile {
             runner = runner.with_profile(Arc::new(profile::ProfileRecorder::new()));
+        }
+        if self.convergence_enabled() {
+            let mut sink = ConvergenceSink::new();
+            if let Some(path) = &self.convergence_jsonl {
+                match std::fs::File::create(path) {
+                    Ok(file) => sink = sink.with_stream(file, 0),
+                    Err(e) => {
+                        eprintln!("failed to open convergence stream {}: {e}", path.display())
+                    }
+                }
+            }
+            runner = runner.with_convergence(Arc::new(sink));
         }
         if let Some(lanes) = self.batch_size {
             runner = runner.with_batch_size(lanes);
@@ -405,6 +439,39 @@ impl CliOptions {
         match profile::write_report(&self.out_dir.join("profile"), &label, &report) {
             Ok(path) => eprintln!("profile report written to {}", path.display()),
             Err(e) => eprintln!("failed to write profile report: {e}"),
+        }
+    }
+
+    /// Whether either convergence flag switched the monitor on.
+    pub fn convergence_enabled(&self) -> bool {
+        self.convergence_jsonl.is_some() || self.precision_report
+    }
+
+    /// End-of-campaign convergence emission: flushes a final snapshot
+    /// line to the `--convergence-jsonl` stream, prints the advisory
+    /// precision forecast under `--precision-report`, and writes the
+    /// schema-versioned report under `<out>/convergence/` (shard
+    /// suffixed, like telemetry).
+    pub fn emit_convergence(&self, producer: &str, sink: &ConvergenceSink) {
+        sink.flush_stream();
+        let aggregate = sink.snapshot();
+        let run =
+            telemetry::RunMetadata::for_run(&self.protocol(), !self.no_checkpoint, self.shard);
+        let report =
+            convergence::ConvergenceReport::assemble(producer, run, aggregate, sink.delta());
+        if self.precision_report {
+            eprint!(
+                "{}",
+                convergence::render_coverage(&aggregate.coverage(producer, sink.delta()))
+            );
+        }
+        let label = match self.shard {
+            Some((index, count)) => format!("{producer}-shard-{index}-of-{count}"),
+            None => producer.to_owned(),
+        };
+        match convergence::write_report(&self.out_dir.join("convergence"), &label, &report) {
+            Ok(path) => eprintln!("convergence report written to {}", path.display()),
+            Err(e) => eprintln!("failed to write convergence report: {e}"),
         }
     }
 }
@@ -705,6 +772,32 @@ mod tests {
 
         assert!(CliOptions::parse(&args(&["--metrics-file"])).is_err());
         assert!(CliOptions::parse(&args(&["--no-telemetry", "--metrics-file", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_convergence_flags() {
+        let options = CliOptions::parse(&[]).unwrap();
+        assert!(options.convergence_jsonl.is_none() && !options.precision_report);
+        assert!(!options.convergence_enabled());
+        assert!(options.runner(None).convergence().is_none());
+
+        let options = CliOptions::parse(&args(&[
+            "--convergence-jsonl",
+            "/tmp/conv.jsonl",
+            "--precision-report",
+        ]))
+        .unwrap();
+        assert_eq!(
+            options.convergence_jsonl,
+            Some(PathBuf::from("/tmp/conv.jsonl"))
+        );
+        assert!(options.precision_report && options.convergence_enabled());
+
+        let options = CliOptions::parse(&args(&["--precision-report"])).unwrap();
+        assert!(options.convergence_enabled());
+        assert!(options.runner(None).convergence().is_some());
+
+        assert!(CliOptions::parse(&args(&["--convergence-jsonl"])).is_err());
     }
 
     #[test]

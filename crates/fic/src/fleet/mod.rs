@@ -38,7 +38,7 @@ use std::fmt;
 use std::io;
 
 pub use recorder::{FlightLog, FlightRecorder, SpanEvent, SpanKind};
-pub use scheduler::{Scheduler, SliceSpec, SliceStatus, WorkerEntry};
+pub use scheduler::{Scheduler, SliceSpec, SliceStatus, WorkerEntry, WorkerLiveness};
 pub use server::{CampaignOutcome, CampaignSpec, FleetSummary, Server, ServerOptions};
 pub use wire::{Command, FrameBuffer, FrameError, RefusalKind, Response, SliceLease, WIRE_VERSION};
 pub use worker::{run_worker, WorkerOptions, WorkerSummary};

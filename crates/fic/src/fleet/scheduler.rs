@@ -54,6 +54,9 @@ pub enum SliceStatus {
         worker_id: u64,
         /// Logical instant the lease lapses without a heartbeat.
         expires_at_ms: u64,
+        /// Logical instant the lease was granted (survives heartbeat
+        /// extensions, so lease age is measurable).
+        leased_at_ms: u64,
     },
     /// A result was accepted.
     Done,
@@ -74,6 +77,27 @@ pub struct WorkerEntry {
     pub completed: u64,
     /// Whether the worker is still connected.
     pub connected: bool,
+}
+
+/// Point-in-time liveness of one worker, derived from the slice table
+/// by [`Scheduler::liveness`] — the `/status` scoreboard row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerLiveness {
+    /// The worker's scheduler id.
+    pub worker_id: u64,
+    /// Self-reported name.
+    pub name: String,
+    /// Whether the worker is still connected.
+    pub connected: bool,
+    /// Slices completed (accepted results only).
+    pub completed: u64,
+    /// Slices currently leased to this worker.
+    pub slices_in_flight: usize,
+    /// Age of the oldest lease the worker holds (`None` when idle).
+    pub oldest_lease_age_ms: Option<u64>,
+    /// Time since the most-stale held lease last heartbeat (`None`
+    /// when idle); approaches the lease TTL as the worker goes silent.
+    pub heartbeat_staleness_ms: Option<u64>,
 }
 
 /// The fleet scheduler; see the module docs for the state machine.
@@ -183,6 +207,7 @@ impl Scheduler {
                 slice.status = SliceStatus::Leased {
                     worker_id,
                     expires_at_ms,
+                    leased_at_ms: now_ms,
                 };
                 return Some((id as u64, slice.spec.clone()));
             }
@@ -199,11 +224,14 @@ impl Scheduler {
         };
         match slice.status {
             SliceStatus::Leased {
-                worker_id: holder, ..
+                worker_id: holder,
+                leased_at_ms,
+                ..
             } if holder == worker_id => {
                 slice.status = SliceStatus::Leased {
                     worker_id,
                     expires_at_ms: now_ms.saturating_add(self.lease_ms),
+                    leased_at_ms,
                 };
                 true
             }
@@ -282,6 +310,51 @@ impl Scheduler {
         counts
     }
 
+    /// Point-in-time liveness of every registered worker at `now_ms`:
+    /// slices currently held, the age of the oldest held lease, and
+    /// how long ago the most-stale lease last heartbeat — all derived
+    /// from the slice table, so the view is exactly what the scheduler
+    /// will act on at the next expiry sweep.
+    pub fn liveness(&self, now_ms: u64) -> Vec<WorkerLiveness> {
+        let mut rows: Vec<WorkerLiveness> = self
+            .workers()
+            .into_iter()
+            .map(|(worker_id, entry)| WorkerLiveness {
+                worker_id,
+                name: entry.name,
+                connected: entry.connected,
+                completed: entry.completed,
+                slices_in_flight: 0,
+                oldest_lease_age_ms: None,
+                heartbeat_staleness_ms: None,
+            })
+            .collect();
+        for slice in &self.slices {
+            let SliceStatus::Leased {
+                worker_id,
+                expires_at_ms,
+                leased_at_ms,
+            } = slice.status
+            else {
+                continue;
+            };
+            let Some(row) = rows.iter_mut().find(|r| r.worker_id == worker_id) else {
+                continue;
+            };
+            row.slices_in_flight += 1;
+            let age = now_ms.saturating_sub(leased_at_ms);
+            row.oldest_lease_age_ms = Some(row.oldest_lease_age_ms.map_or(age, |a| a.max(age)));
+            // expires_at = last heartbeat + TTL, so the last heartbeat
+            // (or lease grant) instant is recoverable.
+            let staleness = now_ms.saturating_sub(expires_at_ms.saturating_sub(self.lease_ms));
+            row.heartbeat_staleness_ms = Some(
+                row.heartbeat_staleness_ms
+                    .map_or(staleness, |s| s.max(staleness)),
+            );
+        }
+        rows
+    }
+
     /// Registered workers as `(id, entry)`, sorted by id.
     pub fn workers(&self) -> Vec<(u64, WorkerEntry)> {
         let mut workers: Vec<(u64, WorkerEntry)> = self
@@ -354,6 +427,39 @@ mod tests {
         assert!(!s.knows_worker(w1));
         let (re_id, _) = s.lease(w2, 1).unwrap();
         assert_eq!(re_id, id);
+    }
+
+    #[test]
+    fn liveness_tracks_lease_age_and_staleness() {
+        let mut s = Scheduler::new(1_000);
+        s.push(spec(0, 0));
+        s.push(spec(0, 1));
+        let busy = s.register("busy");
+        let _idle = s.register("idle");
+        let (id0, _) = s.lease(busy, 100).unwrap();
+        let (_, _) = s.lease(busy, 200).unwrap();
+        assert!(s.heartbeat(busy, id0, 600));
+
+        let rows = s.liveness(700);
+        assert_eq!(rows.len(), 2);
+        let busy_row = &rows[0];
+        assert_eq!(busy_row.name, "busy");
+        assert_eq!(busy_row.slices_in_flight, 2);
+        // Oldest lease was granted at 100; the heartbeat at 600 does
+        // not reset its age.
+        assert_eq!(busy_row.oldest_lease_age_ms, Some(600));
+        // Slice 1 last heartbeat at its grant (200): staleness 500.
+        assert_eq!(busy_row.heartbeat_staleness_ms, Some(500));
+        let idle_row = &rows[1];
+        assert_eq!(idle_row.name, "idle");
+        assert_eq!(idle_row.slices_in_flight, 0);
+        assert_eq!(idle_row.oldest_lease_age_ms, None);
+        assert_eq!(idle_row.heartbeat_staleness_ms, None);
+
+        assert!(s.complete(busy, id0));
+        let rows = s.liveness(700);
+        assert_eq!(rows[0].slices_in_flight, 1);
+        assert_eq!(rows[0].completed, 1);
     }
 
     #[test]

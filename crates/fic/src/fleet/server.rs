@@ -27,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use crate::attribution::{AttributionAggregate, MonitoredMap};
 use crate::campaign::InjectableError;
+use crate::convergence::{self, ConvergenceAggregate};
 use crate::error_set::{self, E1Error, E2Error};
 use crate::journal::{CampaignKind, Journal, JournalWriter, TrialRecord};
 use crate::protocol::Protocol;
@@ -296,7 +297,7 @@ pub(super) struct Shared {
 }
 
 impl Shared {
-    fn now_ms(&self) -> u64 {
+    pub(super) fn now_ms(&self) -> u64 {
         u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
@@ -641,12 +642,27 @@ fn finalize_campaign(state: &mut CampaignState, flight: Option<&FlightRecorder>)
         "fleet_server",
         &telemetry_report,
     )?;
-    let attribution_report =
-        attribution::AttributionReport::assemble("fleet_server", run, state.attribution.clone());
+    let attribution_report = attribution::AttributionReport::assemble(
+        "fleet_server",
+        run.clone(),
+        state.attribution.clone(),
+    );
     attribution::write_report(
         &state.out_dir.join("attribution"),
         "fleet_server",
         &attribution_report,
+    )?;
+    let aggregate = ConvergenceAggregate::from_reports(&state.e1_report, &state.e2_report);
+    let convergence_report = convergence::ConvergenceReport::assemble(
+        "fleet_server",
+        run,
+        aggregate,
+        convergence::DEFAULT_DELTA,
+    );
+    convergence::write_report(
+        &state.out_dir.join("convergence"),
+        "fleet_server",
+        &convergence_report,
     )?;
     if let Some(flight) = flight {
         let log = FlightLog::from_events(flight.snapshot()).for_campaign(&state.spec.name);
@@ -982,6 +998,7 @@ impl Core {
                     finalized: c.finalized,
                     telemetry: c.telemetry.clone(),
                     attribution: c.attribution.clone(),
+                    coverage: ConvergenceAggregate::from_reports(&c.e1_report, &c.e2_report),
                     protocol: c.spec.protocol.clone(),
                 }
             })
@@ -999,5 +1016,6 @@ pub(super) struct CampaignView {
     pub(super) finalized: bool,
     pub(super) telemetry: TelemetrySnapshot,
     pub(super) attribution: AttributionAggregate,
+    pub(super) coverage: ConvergenceAggregate,
     pub(super) protocol: Protocol,
 }

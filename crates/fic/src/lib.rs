@@ -48,6 +48,7 @@ pub mod attribution;
 pub mod calibration;
 pub mod campaign;
 pub mod cli;
+pub mod convergence;
 pub mod coverage_report;
 pub mod error_set;
 pub mod experiment;
@@ -68,8 +69,10 @@ pub use attribution::{
     AttributionAggregate, AttributionEvent, AttributionReport, Decomposition, MonitoredMap,
 };
 pub use campaign::{
-    AttributionSink, CampaignRunner, CampaignTelemetry, CheckpointCache, ProgressOptions,
+    AttributionSink, CampaignRunner, CampaignTelemetry, CheckpointCache, ConvergenceSink,
+    ProgressOptions,
 };
+pub use convergence::{CampaignCoverage, ConvergenceAggregate, ConvergenceReport};
 pub use error_set::{E1Error, E2Error};
 pub use experiment::{
     fault_free_prefix, fault_free_prefix_recorded, run_trial, run_trial_checkpointed,

@@ -73,7 +73,7 @@ proptest! {
         prop_assert!(s.lease(vulture, expiry - 1).is_none());
         prop_assert_eq!(
             s.status(id),
-            Some(SliceStatus::Leased { worker_id: holder, expires_at_ms: expiry })
+            Some(SliceStatus::Leased { worker_id: holder, expires_at_ms: expiry, leased_at_ms: 0 })
         );
         // At the TTL it is handed to the next asker, and the old
         // holder's heartbeat becomes a no-op.
